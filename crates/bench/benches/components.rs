@@ -1,0 +1,107 @@
+//! Criterion benches of the substrate components: DES engine throughput,
+//! DRAM controller service rate, and buffer flow-control operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desim::{Engine, Model, Scheduler, SimDelta, SimTime};
+use dram::{DramConfig, MemOp, MemRequest, MemorySystem};
+use soc::LaneBuffer;
+
+struct Chain {
+    hops: u32,
+}
+impl Model for Chain {
+    type Event = ();
+    fn handle(&mut self, _: (), sched: &mut Scheduler<()>) {
+        if self.hops > 0 {
+            self.hops -= 1;
+            sched.after(SimDelta::from_ns(5), ());
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("desim-100k-events", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Chain { hops: 100_000 });
+            eng.scheduler().immediately(());
+            eng.run();
+            eng.now()
+        });
+    });
+}
+
+fn bench_calendar_vs_heap(c: &mut Criterion) {
+    use desim::CalendarQueue;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let times: Vec<u64> = {
+        let mut rng = desim::SplitMix64::new(5);
+        (0..50_000).map(|_| rng.below(1_000_000)).collect()
+    };
+
+    let mut g = c.benchmark_group("event-queue-50k");
+    g.bench_function("binary-heap", |b| {
+        b.iter(|| {
+            let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            for (i, &t) in times.iter().enumerate() {
+                h.push(Reverse((t, i as u64)));
+            }
+            let mut n = 0u64;
+            while h.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    g.bench_function("calendar-queue", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::with_geometry(1024, 1024);
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_ns(t), i as u64);
+            }
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram-4k-requests", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(DramConfig::lpddr3_table3());
+            for i in 0..4096u64 {
+                mem.submit(
+                    SimTime::ZERO,
+                    MemRequest::new(i * 1024, 1024, MemOp::Read, i),
+                );
+            }
+            mem.drain(SimTime::ZERO).len()
+        });
+    });
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    c.bench_function("lane-buffer-1m-ops", |b| {
+        b.iter(|| {
+            let mut lane = LaneBuffer::new(2048);
+            let mut moved = 0u64;
+            for _ in 0..1_000_000 {
+                if lane.try_reserve(1024) {
+                    lane.commit(1024);
+                } else {
+                    lane.consume(1024);
+                }
+                moved += 1024;
+            }
+            moved
+        });
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_calendar_vs_heap, bench_dram, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches over the five schemes: wall-clock cost of simulating
+//! representative workloads, and the headline metric extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vip_bench::{run_workload, RunSettings};
+use vip_core::Scheme;
+use workloads::Workload;
+
+fn bench_schemes(c: &mut Criterion) {
+    let settings = RunSettings::with_ms(60);
+    let mut g = c.benchmark_group("simulate-W5");
+    g.sample_size(10);
+    for &scheme in &Scheme::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
+                b.iter(|| run_workload(Workload::W5, s, settings));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let settings = RunSettings::with_ms(60);
+    let mut g = c.benchmark_group("simulate-vip");
+    g.sample_size(10);
+    for &w in &[Workload::W1, Workload::W5, Workload::W7] {
+        g.bench_with_input(BenchmarkId::from_parameter(w.id()), &w, |b, &w| {
+            b.iter(|| run_workload(w, Scheme::Vip, settings));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_workloads);
+criterion_main!(benches);

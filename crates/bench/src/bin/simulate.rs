@@ -1,0 +1,119 @@
+//! Run a custom workload file on the simulated platform.
+//!
+//! ```text
+//! simulate --file my.flows --scheme vip --ms 500
+//! simulate --file my.flows --scheme baseline --device nexus7 --timeline
+//! echo 'flow v fps=30 src=62500\nstage VD out=3110400\nstage DC out=0' | simulate --scheme vip
+//! ```
+//!
+//! The file format is documented in `workloads::specfile`.
+
+use std::io::Read as _;
+
+use vip_core::{Device, Scheme, SystemSim};
+
+fn scheme_by_name(s: &str) -> Option<Scheme> {
+    match s.to_ascii_lowercase().as_str() {
+        "baseline" => Some(Scheme::Baseline),
+        "frameburst" | "fb" => Some(Scheme::FrameBurst),
+        "iptoip" | "ip-to-ip" | "chained" => Some(Scheme::IpToIp),
+        "iptoipburst" | "ip-to-ip-fb" => Some(Scheme::IpToIpBurst),
+        "vip" => Some(Scheme::Vip),
+        _ => None,
+    }
+}
+
+fn device_by_name(s: &str) -> Option<Device> {
+    match s.to_ascii_lowercase().as_str() {
+        "nexus7" => Some(Device::Nexus7),
+        "memopad8" => Some(Device::MemoPad8),
+        "galaxys4" | "s4" => Some(Device::GalaxyS4),
+        "galaxys5" | "s5" => Some(Device::GalaxyS5),
+        "table3" => Some(Device::Table3),
+        _ => None,
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let bail = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: simulate [--file <path>] [--scheme baseline|fb|chained|vip] \
+             [--device nexus7|memopad8|s4|s5|table3] [--ms N] [--timeline]"
+        );
+        std::process::exit(2);
+    };
+
+    let text = match get("--file") {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| bail(&format!("cannot read {path}: {e}"))),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| bail(&format!("cannot read stdin: {e}")));
+            buf
+        }
+    };
+    let flows = workloads::parse_specfile(&text)
+        .unwrap_or_else(|e| bail(&format!("workload parse error: {e}")));
+
+    let scheme = match get("--scheme") {
+        Some(s) => scheme_by_name(&s).unwrap_or_else(|| bail(&format!("unknown scheme '{s}'"))),
+        None => Scheme::Vip,
+    };
+    let device = match get("--device") {
+        Some(d) => device_by_name(&d).unwrap_or_else(|| bail(&format!("unknown device '{d}'"))),
+        None => Device::Table3,
+    };
+    let ms: u64 = get("--ms").and_then(|v| v.parse().ok()).unwrap_or(500);
+
+    let mut cfg = device.config(scheme);
+    cfg.duration = desim::SimDelta::from_ms(ms);
+    let (report, traces) = SystemSim::run_detailed(cfg, flows);
+
+    println!(
+        "{} on {} for {} ms: {} flows, {} frames sourced, {} completed, \
+         {} violated, {} dropped at source",
+        scheme.label(),
+        device.name(),
+        ms,
+        report.flows.len(),
+        report.frames_sourced,
+        report.frames_completed,
+        report.frames_violated,
+        report.frames_dropped_at_source,
+    );
+    println!(
+        "energy {:.3} mJ/frame ({}); {:.1} interrupts/100ms; DRAM {:.2} GB/s avg; \
+         flow time avg {:.2} ms / p95 {:.2} ms",
+        report.energy_per_frame_mj(),
+        report.energy,
+        report.irq_per_100ms(),
+        report.mem_avg_gbps,
+        report.avg_flow_time.as_ms(),
+        report.p95_flow_time.as_ms(),
+    );
+    for f in &report.flows {
+        println!(
+            "  {:<20} {:>4} frames  {:>5.1}% violated  flow {:>7.2} ms (p95 {:>7.2})",
+            f.name,
+            f.frames_sourced,
+            f.violation_rate() * 100.0,
+            f.avg_flow_time.as_ms(),
+            f.p95_flow_time.as_ms(),
+        );
+    }
+    if argv.iter().any(|a| a == "--timeline") {
+        println!();
+        for t in &traces {
+            print!("{}", t.render(12));
+        }
+    }
+}

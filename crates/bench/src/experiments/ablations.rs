@@ -1,0 +1,227 @@
+//! Ablations of VIP's design choices (DESIGN.md §6): buffer lanes,
+//! scheduling policy, burst size, sub-frame granularity, and the
+//! context-switch penalty.
+
+use desim::SimDelta;
+use vip_core::{SchedPolicy, Scheme, SystemConfig, SystemSim, SystemReport};
+use workloads::Workload;
+
+use crate::runner::RunSettings;
+use crate::table::Table;
+
+fn vip_cfg(settings: RunSettings) -> SystemConfig {
+    let mut cfg = SystemConfig::table3(Scheme::Vip);
+    cfg.duration = settings.duration;
+    cfg.seed = settings.seed;
+    cfg
+}
+
+fn run(cfg: SystemConfig, wkld: Workload, settings: RunSettings) -> SystemReport {
+    SystemSim::run(cfg, wkld.spec(settings.seed).flows())
+}
+
+/// Lane-count sweep on W1 (the HOL-blocking workload): 1 lane degenerates
+/// to head-of-line blocking; 2+ lanes recover.
+pub fn lanes(settings: RunSettings) -> Vec<(usize, SystemReport)> {
+    [1usize, 2, 3, 4]
+        .iter()
+        .map(|&lanes| {
+            let mut cfg = vip_cfg(settings);
+            cfg.max_lanes = lanes;
+            (lanes, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Scheduling-policy sweep on W1: EDF vs FIFO vs round-robin.
+pub fn policies(settings: RunSettings) -> Vec<(SchedPolicy, SystemReport)> {
+    [SchedPolicy::Edf, SchedPolicy::Fifo, SchedPolicy::RoundRobin]
+        .iter()
+        .map(|&p| {
+            let mut cfg = vip_cfg(settings);
+            cfg.sched_policy = p;
+            (p, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Burst-size sweep on W1 under VIP.
+pub fn burst_sizes(settings: RunSettings) -> Vec<(u32, SystemReport)> {
+    [1u32, 2, 5, 10, 20]
+        .iter()
+        .map(|&b| {
+            let mut cfg = vip_cfg(settings);
+            cfg.burst_frames = b;
+            (b, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Sub-frame granularity sweep on W1 under VIP.
+pub fn subframes(settings: RunSettings) -> Vec<(u64, SystemReport)> {
+    [256u64, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&sub| {
+            let mut cfg = vip_cfg(settings);
+            cfg.subframe_bytes = sub;
+            cfg.buffer_bytes_per_lane = cfg.buffer_bytes_per_lane.max(2 * sub);
+            (sub, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Header-packet context-size sweep on W1 under VIP (paper §5.4: ~1 KB
+/// per IP, "negligible impact"; this quantifies when that stops holding).
+pub fn header_sizes(settings: RunSettings) -> Vec<(u64, SystemReport)> {
+    [0u64, 1024, 16_384, 262_144, 4_194_304]
+        .iter()
+        .map(|&bytes| {
+            let mut cfg = vip_cfg(settings);
+            cfg.header_context_bytes = bytes;
+            (bytes, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Row-buffer policy ablation on W1 under VIP: open vs closed page.
+pub fn page_policies(settings: RunSettings) -> Vec<(&'static str, SystemReport)> {
+    use dram::PagePolicy;
+    [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)]
+        .iter()
+        .map(|&(name, p)| {
+            let mut cfg = vip_cfg(settings);
+            cfg.dram.page_policy = p;
+            (name, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+/// Context-switch penalty sweep on W1 under VIP.
+pub fn ctx_switch(settings: RunSettings) -> Vec<(u64, SystemReport)> {
+    [0u64, 80, 200, 500, 1000]
+        .iter()
+        .map(|&ns| {
+            let mut cfg = vip_cfg(settings);
+            cfg.ctx_switch = SimDelta::from_ns(ns);
+            (ns, run(cfg, Workload::W1, settings))
+        })
+        .collect()
+}
+
+fn metric_row(label: String, r: &SystemReport) -> Vec<String> {
+    vec![
+        label,
+        format!("{:.3}", r.energy_per_frame_mj()),
+        format!("{:.2}", r.violation_rate() * 100.0),
+        format!("{:.2}", r.avg_flow_time.as_ms()),
+    ]
+}
+
+/// Renders every ablation as one multi-section string.
+pub fn render_all(settings: RunSettings) -> String {
+    let mut out = String::new();
+    let headers = ["config", "E/frame (mJ)", "QoS viol %", "flow time (ms)"];
+
+    out.push_str("## Lanes per IP (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (l, r) in lanes(settings) {
+        t.row(&metric_row(format!("{l} lane(s)"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Hardware scheduling policy (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (p, r) in policies(settings) {
+        t.row(&metric_row(format!("{p:?}"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Burst size (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (b, r) in burst_sizes(settings) {
+        t.row(&metric_row(format!("burst {b}"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Sub-frame size (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (s, r) in subframes(settings) {
+        t.row(&metric_row(format!("{s} B"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Context-switch penalty (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (ns, r) in ctx_switch(settings) {
+        t.row(&metric_row(format!("{ns} ns"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## Header-packet context per IP (W1, VIP; paper: ~1KB, negligible)\n");
+    let mut t = Table::new(&headers);
+    for (bytes, r) in header_sizes(settings) {
+        t.row(&metric_row(format!("{bytes} B/IP"), &r));
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n## DRAM row-buffer policy (W1, VIP)\n");
+    let mut t = Table::new(&headers);
+    for (name, r) in page_policies(settings) {
+        t.row(&metric_row(name.to_string(), &r));
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunSettings {
+        RunSettings::with_ms(250)
+    }
+
+    #[test]
+    fn more_lanes_do_not_hurt_qos() {
+        let sweep = lanes(quick());
+        let one = sweep[0].1.frames_violated;
+        let four = sweep[3].1.frames_violated;
+        assert!(four <= one, "4 lanes {four} vs 1 lane {one}");
+    }
+
+    #[test]
+    fn bigger_bursts_cut_interrupts() {
+        let sweep = burst_sizes(quick());
+        let b1 = &sweep[0].1;
+        let b10 = &sweep[3].1;
+        assert!(b10.interrupts * 3 < b1.interrupts);
+    }
+
+    #[test]
+    fn kilobyte_headers_are_negligible() {
+        let sweep = header_sizes(quick());
+        let none = sweep[0].1.energy.total_j();
+        let kb = sweep[1].1.energy.total_j();
+        // Paper §5.4: ~1 KB contexts have "negligible impact".
+        assert!((kb - none).abs() / none < 0.01, "{kb} vs {none}");
+        // Absurd multi-MB contexts are visible.
+        let huge = sweep.last().unwrap().1.energy.total_j();
+        assert!(huge > kb, "{huge} vs {kb}");
+    }
+
+    #[test]
+    fn open_page_beats_closed_on_frame_streams() {
+        let sweep = page_policies(quick());
+        let open = &sweep[0].1;
+        let closed = &sweep[1].1;
+        assert!(open.avg_flow_time <= closed.avg_flow_time);
+    }
+
+    #[test]
+    fn ctx_cost_only_slows_things() {
+        let sweep = ctx_switch(quick());
+        let free = sweep[0].1.avg_flow_time;
+        let heavy = sweep[4].1.avg_flow_time;
+        assert!(heavy >= free, "{heavy:?} vs {free:?}");
+    }
+}

@@ -1,0 +1,214 @@
+//! `figures --exp check`: a programmatic validation gate. Every headline
+//! claim of the paper is evaluated against the reproduction and reported
+//! as within/outside its expected band, so regressions in the model are
+//! caught by one command (and by the test suite).
+
+use vip_core::Scheme;
+
+use crate::experiments::{fig14, fig15, fig16, fig17, fig18, fig3, fig5, fig6};
+use crate::runner::{Matrix, RunSettings};
+use crate::table::Table;
+
+/// One validated claim.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// Where the paper states it.
+    pub source: &'static str,
+    /// What is claimed.
+    pub statement: &'static str,
+    /// The paper's value (prose, for the report).
+    pub paper: &'static str,
+    /// The reproduced value.
+    pub measured: f64,
+    /// Acceptance band for the reproduction.
+    pub band: (f64, f64),
+}
+
+impl Claim {
+    /// Whether the measured value falls inside the band.
+    pub fn holds(&self) -> bool {
+        (self.band.0..=self.band.1).contains(&self.measured)
+    }
+}
+
+/// Evaluates every headline claim. Expensive: runs the full matrix plus
+/// the Fig 3/5/6/14 studies.
+pub fn claims(settings: RunSettings) -> Vec<Claim> {
+    let matrix = Matrix::run(settings);
+    claims_with_matrix(&matrix, settings)
+}
+
+/// Evaluates the claims against an existing matrix (for reuse by `all`).
+pub fn claims_with_matrix(matrix: &Matrix, settings: RunSettings) -> Vec<Claim> {
+    let mut out = Vec::new();
+
+    // --- Fig 15 / abstract: energy ---
+    let f15 = fig15::rows(matrix);
+    let avg15 = fig15::avg(&f15);
+    let multi_rows: Vec<&fig15::Fig15Row> =
+        f15.iter().filter(|r| r.unit.starts_with('W')).collect();
+    let vip_vs_ip2ip: f64 = multi_rows
+        .iter()
+        .map(|r| 1.0 - r.normalized[4] / r.normalized[2])
+        .sum::<f64>()
+        / multi_rows.len().max(1) as f64;
+    out.push(Claim {
+        source: "abstract / Fig 15",
+        statement: "VIP energy saving over IP-to-IP on multi-app workloads",
+        paper: "~22%",
+        measured: vip_vs_ip2ip * 100.0,
+        band: (8.0, 35.0),
+    });
+    out.push(Claim {
+        source: "Fig 15",
+        statement: "FrameBurst system-energy ratio vs baseline (AVG)",
+        paper: "~0.90",
+        measured: avg15.normalized[1],
+        band: (0.70, 0.97),
+    });
+    out.push(Claim {
+        source: "Fig 15",
+        statement: "IP-to-IP system-energy ratio vs baseline (AVG)",
+        paper: "~0.75-0.80",
+        measured: avg15.normalized[2],
+        band: (0.60, 0.90),
+    });
+
+    // --- Fig 16: CPU ---
+    let f16 = fig16::rows(matrix);
+    let avg16 = f16.last().expect("AVG row");
+    out.push(Claim {
+        source: "§6.2 / Fig 16a",
+        statement: "CPU energy reduction from frame bursts (AVG)",
+        paper: "~25%",
+        measured: avg16.cpu_energy_reduction_pct,
+        band: (15.0, 70.0),
+    });
+    out.push(Claim {
+        source: "§6.2 / Fig 16a",
+        statement: "Instruction reduction from frame bursts (AVG)",
+        paper: "~40%",
+        measured: avg16.instructions_reduction_pct,
+        band: (20.0, 75.0),
+    });
+    out.push(Claim {
+        source: "Fig 16b",
+        statement: "Interrupt-rate reduction factor from bursts (AVG)",
+        paper: "~5x (burst of 5)",
+        measured: avg16.irq_baseline / avg16.irq_burst.max(1e-9),
+        band: (3.0, 7.0),
+    });
+
+    // --- Fig 17: flow time ---
+    let f17 = fig17::rows(matrix);
+    let avg17 = fig17::avg(&f17);
+    out.push(Claim {
+        source: "§6.2 / Fig 17",
+        statement: "Chained+burst flow-time ratio vs baseline (AVG)",
+        paper: "~0.6-0.75",
+        measured: avg17.normalized[3],
+        band: (0.35, 0.90),
+    });
+
+    // --- Fig 18: QoS ---
+    let f18 = fig18::rows(matrix);
+    let avg18 = fig18::avg(&f18);
+    out.push(Claim {
+        source: "abstract / Fig 18",
+        statement: "VIP violation rate normalized to baseline (AVG)",
+        paper: "~0.85 (15% fewer drops)",
+        measured: avg18.absolute[4] / avg18.absolute[0].max(1e-9),
+        band: (0.0, 0.90),
+    });
+    out.push(Claim {
+        source: "§6.2 / Fig 18",
+        statement: "Un-virtualized bursts vs VIP violation ratio (AVG)",
+        paper: ">1 (bursts hurt QoS until virtualized)",
+        measured: avg18.absolute[3] / avg18.absolute[4].max(1e-9),
+        band: (1.0, f64::INFINITY),
+    });
+
+    // --- Fig 3: memory bottleneck ---
+    let f3 = fig3::rows(settings);
+    out.push(Claim {
+        source: "Fig 3b",
+        statement: "VD utilization drop from 1 to 4 apps (percentage points)",
+        paper: "~80% -> ~55%",
+        measured: (f3[0].vd_utilization - f3[3].vd_utilization) * 100.0,
+        band: (10.0, 60.0),
+    });
+    out.push(Claim {
+        source: "Fig 3b",
+        statement: "Ideal-memory VD utilization at 4 apps",
+        paper: "~100%",
+        measured: f3[4].vd_utilization * 100.0,
+        band: (95.0, 100.5),
+    });
+    out.push(Claim {
+        source: "Fig 3d",
+        statement: "Time near memory saturation at 4 apps (>=70% of peak)",
+        paper: "high (>80% band occupied)",
+        measured: f3[3].frac_near_saturation * 100.0,
+        band: (40.0, 100.0),
+    });
+
+    // --- Fig 5/6: interaction studies ---
+    let f5 = fig5::study(20, 10, settings.seed);
+    out.push(Claim {
+        source: "Fig 5",
+        statement: "Fraction of tap gaps above 0.5 s",
+        paper: ">60%",
+        measured: f5.frac_above_half_sec * 100.0,
+        band: (50.0, 75.0),
+    });
+    let f6 = fig6::study(20, 10, settings.seed);
+    out.push(Claim {
+        source: "Fig 6a",
+        statement: "Fraction of Fruit Ninja frames that can burst",
+        paper: "~60%",
+        measured: f6.frac_burstable * 100.0,
+        band: (50.0, 72.0),
+    });
+
+    // --- Fig 14: buffer sizing ---
+    let f14 = fig14::rows(settings);
+    let two_kb = f14
+        .iter()
+        .find(|r| r.buffer_bytes == 2048)
+        .expect("2KB in sweep");
+    out.push(Claim {
+        source: "§5.5 / Fig 14a",
+        statement: "2 KB buffer flow-time penalty vs stall-free",
+        paper: "within a few %",
+        measured: two_kb.normalized,
+        band: (0.95, 1.10),
+    });
+
+    // --- Scheme structure ---
+    let base = matrix.report(0, Scheme::Baseline);
+    let chained = matrix.report(0, Scheme::IpToIp);
+    out.push(Claim {
+        source: "§6.2",
+        statement: "DRAM traffic ratio, IP-to-IP vs baseline (first unit)",
+        paper: "inter-IP hops eliminated",
+        measured: chained.mem_bytes as f64 / base.mem_bytes.max(1) as f64,
+        band: (0.0, 0.6),
+    });
+
+    out
+}
+
+/// Renders the validation table.
+pub fn render(claims: &[Claim]) -> Table {
+    let mut t = Table::new(&["verdict", "source", "claim", "paper", "measured"]);
+    for c in claims {
+        t.row(&[
+            if c.holds() { "PASS" } else { "FAIL" }.into(),
+            c.source.into(),
+            c.statement.into(),
+            c.paper.into(),
+            format!("{:.2}", c.measured),
+        ]);
+    }
+    t
+}

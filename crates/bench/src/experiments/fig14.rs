@@ -1,0 +1,110 @@
+//! Fig 14 — sizing the per-lane flow buffers: (a) end-to-end flow time as
+//! the buffer shrinks (stalls appear), (b) the SRAM energy/area cost of
+//! growing it (via `cacti-lite`). The paper picks 2 KB (32 cache lines).
+
+use cacti_lite::fig14b_sweep;
+use vip_core::{Scheme, SystemConfig, SystemSim};
+use workloads::apps::{audio_play_flow, video_play_flow};
+use workloads::Resolution;
+
+use crate::runner::RunSettings;
+use crate::table::Table;
+
+/// One buffer size of the Fig 14a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14aRow {
+    /// Buffer bytes per lane.
+    pub buffer_bytes: u64,
+    /// Mean per-frame flow time, ms.
+    pub flow_time_ms: f64,
+    /// Flow time normalized to the stall-free 16 KB asymptote (the
+    /// paper's "Ideal" reference).
+    pub normalized: f64,
+}
+
+/// The sizes of the paper's sweep; the largest is the stall-free
+/// reference.
+pub const SIZES: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+
+fn run(buffer: u64, settings: RunSettings) -> f64 {
+    let mut cfg = SystemConfig::table3(Scheme::Vip);
+    cfg.duration = settings.duration;
+    cfg.seed = settings.seed;
+    cfg.buffer_bytes_per_lane = buffer;
+    // Sub-frames must fit the lane (paper §5.5 sizes buffers to at least
+    // the largest sub-frame; for smaller buffers the flit shrinks too).
+    cfg.subframe_bytes = cfg.subframe_bytes.min(buffer / 2).max(64);
+    let flows = vec![
+        video_play_flow("vid", Resolution::UHD_4K, 60.0),
+        audio_play_flow("aud"),
+    ];
+    let rep = SystemSim::run(cfg, flows);
+    rep.flows[0].avg_flow_time.as_ms()
+}
+
+/// Runs the Fig 14a sweep.
+pub fn rows(settings: RunSettings) -> Vec<Fig14aRow> {
+    let times: Vec<f64> = SIZES.iter().map(|&b| run(b, settings)).collect();
+    let reference = *times.last().expect("sweep nonempty");
+    SIZES
+        .iter()
+        .zip(times)
+        .map(|(&b, ft)| Fig14aRow {
+            buffer_bytes: b,
+            flow_time_ms: ft,
+            normalized: ft / reference,
+        })
+        .collect()
+}
+
+/// Renders Fig 14a.
+pub fn render_14a(rows: &[Fig14aRow]) -> Table {
+    let mut t = Table::new(&["buffer/lane", "flow time (ms)", "vs stall-free"]);
+    for r in rows {
+        t.row(&[
+            format!("{:.1}KB", r.buffer_bytes as f64 / 1024.0),
+            format!("{:.3}", r.flow_time_ms),
+            format!("{:.3}x", r.normalized),
+        ]);
+    }
+    t
+}
+
+/// Renders Fig 14b from the `cacti-lite` model.
+pub fn render_14b() -> Table {
+    let mut t = Table::new(&["buffer", "read energy (nJ)", "area (mm^2)"]);
+    for (bytes, spec) in fig14b_sweep() {
+        t.row(&[
+            format!("{:.1}KB", bytes as f64 / 1024.0),
+            format!("{:.4}", spec.read_energy_nj()),
+            format!("{:.3}", spec.area_mm2()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_buffers_inflate_flow_time() {
+        let rows = rows(RunSettings::with_ms(200));
+        assert_eq!(rows.len(), SIZES.len());
+        let half_kb = rows[0];
+        let reference = rows[rows.len() - 1];
+        // Paper Fig 14a: flow time grows as the buffer shrinks.
+        assert!(
+            half_kb.normalized > 1.01,
+            "0.5KB shows no stall cost: {:?}",
+            half_kb
+        );
+        assert!(half_kb.normalized < 2.5, "stall cost implausibly large");
+        // Monotone improvement (allowing small noise).
+        let two_kb = rows.iter().find(|r| r.buffer_bytes == 2048).unwrap();
+        assert!(two_kb.normalized <= half_kb.normalized);
+        assert!((reference.normalized - 1.0).abs() < 1e-12);
+        // The paper's 2 KB choice is within a few % of the asymptote.
+        assert!(two_kb.normalized < 1.1, "{two_kb:?}");
+    }
+}

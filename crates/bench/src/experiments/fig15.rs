@@ -1,0 +1,59 @@
+//! Fig 15 — normalized energy per frame for the five schemes across
+//! A1–A7 and W1–W8, plus the average.
+
+use vip_core::Scheme;
+
+use crate::runner::Matrix;
+use crate::table::Table;
+
+/// One unit's normalized energies, ordered per [`Scheme::ALL`].
+#[derive(Debug, Clone)]
+pub struct Fig15Row {
+    /// Axis label (A1..W8 or AVG).
+    pub unit: String,
+    /// Energy per frame normalized to the baseline, per scheme.
+    pub normalized: [f64; 5],
+}
+
+/// Projects the matrix into Fig 15 rows (with a final AVG row).
+pub fn rows(matrix: &Matrix) -> Vec<Fig15Row> {
+    let norm = matrix.normalized(|r| r.energy_per_frame_mj());
+    let mut out: Vec<Fig15Row> = norm
+        .iter()
+        .enumerate()
+        .map(|(u, row)| Fig15Row {
+            unit: matrix.unit_label(u).to_string(),
+            normalized: [row[0], row[1], row[2], row[3], row[4]],
+        })
+        .collect();
+    let n = out.len() as f64;
+    let mut avg = [0.0; 5];
+    for r in &out {
+        for (slot, v) in avg.iter_mut().zip(r.normalized) {
+            *slot += v / n;
+        }
+    }
+    out.push(Fig15Row {
+        unit: "AVG".into(),
+        normalized: avg,
+    });
+    out
+}
+
+/// Renders the Fig 15 table.
+pub fn render(rows: &[Fig15Row]) -> Table {
+    let mut headers = vec![""];
+    headers.extend(Scheme::ALL.iter().map(|s| s.label()));
+    let mut t = Table::new(&headers);
+    for r in rows {
+        let mut cells = vec![r.unit.clone()];
+        cells.extend(r.normalized.iter().map(|v| format!("{v:.3}")));
+        t.row(&cells);
+    }
+    t
+}
+
+/// The AVG row (last).
+pub fn avg(rows: &[Fig15Row]) -> &Fig15Row {
+    rows.last().expect("rows include AVG")
+}

@@ -1,0 +1,82 @@
+//! Fig 16 — what frame bursts do to the CPU: (a) reduction in CPU energy
+//! and in executed instructions vs the baseline; (b) interrupts per
+//! 100 ms, baseline vs FrameBurst.
+
+use vip_core::Scheme;
+
+use crate::runner::Matrix;
+use crate::table::Table;
+
+/// One unit's Fig 16 metrics.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Axis label (A1..W8 or AVG).
+    pub unit: String,
+    /// % reduction in CPU energy, FrameBurst vs Baseline (Fig 16a bars).
+    pub cpu_energy_reduction_pct: f64,
+    /// % reduction in instructions executed (Fig 16a line).
+    pub instructions_reduction_pct: f64,
+    /// Interrupts per 100 ms under the baseline (Fig 16b).
+    pub irq_baseline: f64,
+    /// Interrupts per 100 ms under FrameBurst (Fig 16b).
+    pub irq_burst: f64,
+}
+
+/// Projects the matrix into Fig 16 rows (with a final AVG row).
+pub fn rows(matrix: &Matrix) -> Vec<Fig16Row> {
+    let mut out: Vec<Fig16Row> = matrix
+        .results
+        .iter()
+        .enumerate()
+        .map(|(u, _)| {
+            let base = matrix.report(u, Scheme::Baseline);
+            let fb = matrix.report(u, Scheme::FrameBurst);
+            let e_red = (1.0 - fb.cpu_energy_j / base.cpu_energy_j.max(1e-12)) * 100.0;
+            let i_red = (1.0
+                - fb.cpu_instructions as f64 / base.cpu_instructions.max(1) as f64)
+                * 100.0;
+            Fig16Row {
+                unit: matrix.unit_label(u).to_string(),
+                cpu_energy_reduction_pct: e_red,
+                instructions_reduction_pct: i_red,
+                irq_baseline: base.irq_per_100ms(),
+                irq_burst: fb.irq_per_100ms(),
+            }
+        })
+        .collect();
+    let n = out.len() as f64;
+    let avg = Fig16Row {
+        unit: "AVG".into(),
+        cpu_energy_reduction_pct: out.iter().map(|r| r.cpu_energy_reduction_pct).sum::<f64>() / n,
+        instructions_reduction_pct: out
+            .iter()
+            .map(|r| r.instructions_reduction_pct)
+            .sum::<f64>()
+            / n,
+        irq_baseline: out.iter().map(|r| r.irq_baseline).sum::<f64>() / n,
+        irq_burst: out.iter().map(|r| r.irq_burst).sum::<f64>() / n,
+    };
+    out.push(avg);
+    out
+}
+
+/// Renders Figs 16a and 16b as one table.
+pub fn render(rows: &[Fig16Row]) -> Table {
+    let mut t = Table::new(&[
+        "",
+        "CPU energy red. %",
+        "instr red. %",
+        "irq/100ms base",
+        "irq/100ms burst",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.unit.clone(),
+            format!("{:.1}", r.cpu_energy_reduction_pct),
+            format!("{:.1}", r.instructions_reduction_pct),
+            format!("{:.1}", r.irq_baseline),
+            format!("{:.1}", r.irq_burst),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,59 @@
+//! Fig 17 — per-frame flow time, normalized to the baseline, for every
+//! unit and scheme.
+
+use vip_core::Scheme;
+
+use crate::runner::Matrix;
+use crate::table::Table;
+
+/// One unit's normalized flow times, ordered per [`Scheme::ALL`].
+#[derive(Debug, Clone)]
+pub struct Fig17Row {
+    /// Axis label (A1..W8 or AVG).
+    pub unit: String,
+    /// Mean flow time normalized to the baseline, per scheme.
+    pub normalized: [f64; 5],
+}
+
+/// Projects the matrix into Fig 17 rows (with a final AVG row).
+pub fn rows(matrix: &Matrix) -> Vec<Fig17Row> {
+    let norm = matrix.normalized(|r| r.avg_flow_time.as_secs());
+    let mut out: Vec<Fig17Row> = norm
+        .iter()
+        .enumerate()
+        .map(|(u, row)| Fig17Row {
+            unit: matrix.unit_label(u).to_string(),
+            normalized: [row[0], row[1], row[2], row[3], row[4]],
+        })
+        .collect();
+    let n = out.len() as f64;
+    let mut avg = [0.0; 5];
+    for r in &out {
+        for (slot, v) in avg.iter_mut().zip(r.normalized) {
+            *slot += v / n;
+        }
+    }
+    out.push(Fig17Row {
+        unit: "AVG".into(),
+        normalized: avg,
+    });
+    out
+}
+
+/// Renders the Fig 17 table.
+pub fn render(rows: &[Fig17Row]) -> Table {
+    let mut headers = vec![""];
+    headers.extend(Scheme::ALL.iter().map(|s| s.label()));
+    let mut t = Table::new(&headers);
+    for r in rows {
+        let mut cells = vec![r.unit.clone()];
+        cells.extend(r.normalized.iter().map(|v| format!("{v:.3}")));
+        t.row(&cells);
+    }
+    t
+}
+
+/// The AVG row (last).
+pub fn avg(rows: &[Fig17Row]) -> &Fig17Row {
+    rows.last().expect("rows include AVG")
+}

@@ -1,0 +1,88 @@
+//! Fig 18 — QoS: frame-drop (deadline-violation) rates for every unit and
+//! scheme, absolute and normalized to the baseline.
+
+use vip_core::Scheme;
+
+use crate::runner::Matrix;
+use crate::table::Table;
+
+/// One unit's violation rates, ordered per [`Scheme::ALL`].
+#[derive(Debug, Clone)]
+pub struct Fig18Row {
+    /// Axis label (A1..W8 or AVG).
+    pub unit: String,
+    /// Absolute violation rates (fraction of sourced frames), per scheme.
+    pub absolute: [f64; 5],
+    /// Rates normalized to the baseline (`None` when the baseline had no
+    /// violations, where normalization is undefined).
+    pub normalized: Option<[f64; 5]>,
+}
+
+/// Projects the matrix into Fig 18 rows (with a final AVG row over the
+/// absolute rates).
+pub fn rows(matrix: &Matrix) -> Vec<Fig18Row> {
+    let mut out: Vec<Fig18Row> = matrix
+        .results
+        .iter()
+        .enumerate()
+        .map(|(u, row)| {
+            let abs: [f64; 5] = std::array::from_fn(|s| row[s].violation_rate());
+            let normalized = if abs[0] > 0.0 {
+                Some(std::array::from_fn(|s| abs[s] / abs[0]))
+            } else {
+                None
+            };
+            Fig18Row {
+                unit: matrix.unit_label(u).to_string(),
+                absolute: abs,
+                normalized,
+            }
+        })
+        .collect();
+    let n = out.len() as f64;
+    let mut avg = [0.0; 5];
+    for r in &out {
+        for (slot, v) in avg.iter_mut().zip(r.absolute) {
+            *slot += v / n;
+        }
+    }
+    let norm_avg = if avg[0] > 0.0 {
+        Some(std::array::from_fn(|s| avg[s] / avg[0]))
+    } else {
+        None
+    };
+    out.push(Fig18Row {
+        unit: "AVG".into(),
+        absolute: avg,
+        normalized: norm_avg,
+    });
+    out
+}
+
+/// Renders the Fig 18 table (absolute % with normalized values beside).
+pub fn render(rows: &[Fig18Row]) -> Table {
+    let mut headers = vec![String::new()];
+    for s in Scheme::ALL {
+        headers.push(format!("{} %", s.label()));
+    }
+    for s in Scheme::ALL {
+        headers.push(format!("{} (norm)", s.label()));
+    }
+    let hdr: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    for r in rows {
+        let mut cells = vec![r.unit.clone()];
+        cells.extend(r.absolute.iter().map(|v| format!("{:.2}", v * 100.0)));
+        match r.normalized {
+            Some(norm) => cells.extend(norm.iter().map(|v| format!("{v:.2}"))),
+            None => cells.extend(std::iter::repeat_n("-".to_string(), 5)),
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+/// The AVG row (last).
+pub fn avg(rows: &[Fig18Row]) -> &Fig18Row {
+    rows.last().expect("rows include AVG")
+}

@@ -1,0 +1,136 @@
+//! Fig 2 — the motivational CPU study: active time, per-frame energy,
+//! interrupts, and achieved FPS as 1–4 video players run on the baseline.
+//!
+//! The paper measures this on a Nexus 7 with an instrumented Grafika; we
+//! regenerate it on the simulated baseline platform with 1–4 concurrent
+//! video-playback apps at 24 and 60 FPS.
+
+use vip_core::{Scheme, SystemConfig, SystemSim};
+use workloads::apps::{audio_play_flow, video_play_flow};
+use workloads::Resolution;
+
+use crate::runner::RunSettings;
+use crate::table::Table;
+
+/// One row of Fig 2: `n` concurrent video players.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    /// Number of concurrent players.
+    pub apps: usize,
+    /// Total CPU active time per frame at 24 FPS, ms (Fig 2a bars).
+    pub cpu_ms_24: f64,
+    /// Total CPU active time per frame at 60 FPS, ms (Fig 2a bars).
+    pub cpu_ms_60: f64,
+    /// Energy per 60-FPS frame, normalized to 1 app (Fig 2a line).
+    pub energy_per_frame_norm: f64,
+    /// Interrupts, normalized to 1 app (Fig 2b bars).
+    pub interrupts_norm: f64,
+    /// Achieved FPS of the 60-FPS streams (Fig 2b line).
+    pub fps_achieved: f64,
+}
+
+fn player(i: usize, fps: f64) -> Vec<vip_core::FlowSpec> {
+    // Table 3's 4K video frames, like the paper's HD-and-above streams.
+    vec![
+        video_play_flow(&format!("vid-{i}"), Resolution::UHD_4K, fps),
+        audio_play_flow(&format!("aud-{i}")),
+    ]
+}
+
+fn run(n: usize, fps: f64, settings: RunSettings) -> vip_core::SystemReport {
+    let mut cfg = SystemConfig::table3(Scheme::Baseline);
+    cfg.duration = settings.duration;
+    cfg.seed = settings.seed;
+    // The motivational study runs on the LPDDR2-class memory of the
+    // measured 2013 tablets (~8.5 GB/s peak) — the platform on which four
+    // concurrent HD streams visibly collapse; the evaluation platform
+    // keeps Table 3's faster part.
+    cfg.dram.t_line = desim::SimDelta::from_ns(30);
+    let flows = (0..n).flat_map(|i| player(i, fps)).collect();
+    SystemSim::run(cfg, flows)
+}
+
+/// Runs the Fig 2 sweep (1–4 apps).
+pub fn rows(settings: RunSettings) -> Vec<Fig2Row> {
+    let mut out = Vec::new();
+    let mut base_energy = 0.0;
+    let mut base_irqs = 0.0;
+    for n in 1..=4 {
+        let r24 = run(n, 24.0, settings);
+        let r60 = run(n, 60.0, settings);
+        // Energy per *delivered* frame: dropped/late frames burn energy
+        // without producing output, which is what makes the per-frame cost
+        // climb as apps are added (paper Fig 2a).
+        let delivered = (r60.frames_sourced - r60.frames_violated).max(1);
+        let energy = r60.energy.total_j() * 1e3 / delivered as f64;
+        let irqs = r60.interrupts as f64;
+        if n == 1 {
+            base_energy = energy;
+            base_irqs = irqs;
+        }
+        // Achieved FPS: completed-and-on-time video frames per stream-second.
+        let video_frames: u64 = r60
+            .flows
+            .iter()
+            .filter(|f| f.name.starts_with("vid"))
+            .map(|f| f.frames_sourced - f.violations)
+            .sum();
+        let fps_achieved =
+            video_frames as f64 / r60.duration.as_secs() / n as f64;
+        out.push(Fig2Row {
+            apps: n,
+            cpu_ms_24: r24.cpu_ms_per_frame(),
+            cpu_ms_60: r60.cpu_ms_per_frame(),
+            energy_per_frame_norm: energy / base_energy,
+            interrupts_norm: irqs / base_irqs,
+            fps_achieved,
+        });
+    }
+    out
+}
+
+/// Renders the Fig 2 table.
+pub fn render(rows: &[Fig2Row]) -> Table {
+    let mut t = Table::new(&[
+        "apps",
+        "CPU ms/frame (24fps)",
+        "CPU ms/frame (60fps)",
+        "energy/frame (norm)",
+        "interrupts (norm)",
+        "achieved FPS",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.apps.to_string(),
+            format!("{:.2}", r.cpu_ms_24),
+            format!("{:.2}", r.cpu_ms_60),
+            format!("{:.2}", r.energy_per_frame_norm),
+            format!("{:.2}", r.interrupts_norm),
+            format!("{:.1}", r.fps_achieved),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupts_scale_with_apps_and_fps_degrades() {
+        let rows = rows(RunSettings::with_ms(250));
+        assert_eq!(rows.len(), 4);
+        // Paper: ~3x interrupts at 4 apps; monotone growth.
+        assert!(rows[3].interrupts_norm > 2.5, "{:?}", rows[3]);
+        for w in rows.windows(2) {
+            assert!(w[1].interrupts_norm > w[0].interrupts_norm);
+        }
+        // CPU time per frame grows while the system still delivers (at 4
+        // apps, source-queue drops skip CPU work for dropped frames, so
+        // the per-sourced-frame quotient may dip even as total CPU grows).
+        assert!(rows[1].cpu_ms_60 >= rows[0].cpu_ms_60 * 0.9);
+        // Achieved FPS never exceeds the 60 FPS target, and degrades by 4 apps.
+        assert!(rows.iter().all(|r| r.fps_achieved <= 60.5));
+        assert!(rows[3].fps_achieved < rows[0].fps_achieved);
+    }
+}

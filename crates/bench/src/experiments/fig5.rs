@@ -1,0 +1,87 @@
+//! Fig 5 — distribution of the time between successive taps in the
+//! Flappy Bird-class game, aggregated over a 20-player study.
+
+use desim::stats::Histogram;
+use desim::SimDelta;
+use workloads::TouchTrace;
+
+use crate::table::Table;
+
+/// The Fig 5 distribution: 0.05 s bins from 0.15 s to 1.25 s (with the
+/// paper's `<0.15` underflow and `>1.25` overflow buckets).
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// The binned distribution.
+    pub hist: Histogram,
+    /// Total taps observed.
+    pub taps: u64,
+    /// Fraction of gaps above 0.5 s (the paper: "most touches (>60%)").
+    pub frac_above_half_sec: f64,
+}
+
+/// Runs the 20-player × `minutes`-minute study.
+pub fn study(players: u64, minutes: u64, seed: u64) -> Fig5 {
+    let mut hist = Histogram::new(0.15, 1.25, 22);
+    let mut above = 0u64;
+    let mut total = 0u64;
+    for p in 0..players {
+        let trace = TouchTrace::flappy_bird(seed + p, SimDelta::from_secs(minutes * 60));
+        for gap in trace.tap_intervals_secs() {
+            hist.push(gap);
+            total += 1;
+            if gap > 0.5 {
+                above += 1;
+            }
+        }
+    }
+    Fig5 {
+        hist,
+        taps: total,
+        frac_above_half_sec: if total == 0 {
+            0.0
+        } else {
+            above as f64 / total as f64
+        },
+    }
+}
+
+/// Renders the Fig 5 histogram.
+pub fn render(f: &Fig5) -> Table {
+    let mut t = Table::new(&["gap (s)", "% of taps"]);
+    for (lo, hi, n) in f.hist.iter() {
+        t.row(&[
+            format!("{lo:.2}-{hi:.2}"),
+            format!("{:.1}", n as f64 / f.taps as f64 * 100.0),
+        ]);
+    }
+    t.row(&[
+        ">1.25".into(),
+        format!("{:.1}", f.hist.overflow() as f64 / f.taps as f64 * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_matches_paper_shape() {
+        let f = study(20, 10, 7);
+        assert!(f.taps > 5_000, "20 players x 10 min should tap a lot");
+        // Paper: rapid successive clicks at least 0.15 s apart...
+        assert_eq!(f.hist.bin_count(0) + f.hist.total(), f.hist.total() + f.hist.bin_count(0));
+        // ...and most gaps (>60 %) above 0.5 s.
+        assert!(
+            f.frac_above_half_sec > 0.5,
+            "only {:.2} above 0.5s",
+            f.frac_above_half_sec
+        );
+        // No single bin holds more than ~20 % (a spread distribution).
+        let max_bin = (0..f.hist.num_bins())
+            .map(|i| f.hist.bin_count(i))
+            .max()
+            .unwrap();
+        assert!((max_bin as f64) < f.taps as f64 * 0.2);
+    }
+}

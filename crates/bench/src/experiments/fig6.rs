@@ -1,0 +1,118 @@
+//! Fig 6 — Fruit Ninja burstability: the fraction of frames that may join
+//! a frame burst (outside flicks), and the distribution of maximal
+//! burstable run lengths.
+
+use desim::SimDelta;
+use workloads::TouchTrace;
+
+use crate::table::Table;
+
+/// The Fig 6 result.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Fraction of 60 FPS frames outside any flick (Fig 6a, ~60 %).
+    pub frac_burstable: f64,
+    /// Total frames classified.
+    pub total_frames: u64,
+    /// Burstable frames per 3-frame run-length bin: `bins[i]` counts
+    /// frames living in runs of length `[3i, 3i+3)`, up to 200+, as in
+    /// Fig 6b's x-axis.
+    pub run_bins: Vec<u64>,
+    /// Frames in runs of ≥ 200 frames.
+    pub run_overflow: u64,
+}
+
+/// Width of each run-length bin (frames).
+pub const BIN_FRAMES: u64 = 3;
+/// Number of finite bins (0..200 frames).
+pub const NUM_BINS: usize = 67;
+
+/// Runs the 20-player flick study at 60 FPS.
+pub fn study(players: u64, minutes: u64, seed: u64) -> Fig6 {
+    let mut burstable = 0u64;
+    let mut total = 0u64;
+    let mut bins = vec![0u64; NUM_BINS];
+    let mut overflow = 0u64;
+    for p in 0..players {
+        let trace = TouchTrace::fruit_ninja(seed + p, SimDelta::from_secs(minutes * 60));
+        let b = trace.frame_burstability(60.0);
+        burstable += b.burstable;
+        total += b.burstable + b.blocked;
+        for run in b.runs {
+            let idx = (run / BIN_FRAMES) as usize;
+            if idx < NUM_BINS {
+                bins[idx] += run; // weight by frames in the run
+            } else {
+                overflow += run;
+            }
+        }
+    }
+    Fig6 {
+        frac_burstable: if total == 0 {
+            0.0
+        } else {
+            burstable as f64 / total as f64
+        },
+        total_frames: total,
+        run_bins: bins,
+        run_overflow: overflow,
+    }
+}
+
+/// Renders Fig 6a.
+pub fn render_6a(f: &Fig6) -> Table {
+    let mut t = Table::new(&["frames", "%"]);
+    t.row(&[
+        "CAN frame-burst".into(),
+        format!("{:.1}", f.frac_burstable * 100.0),
+    ]);
+    t.row(&[
+        "CANNOT frame-burst".into(),
+        format!("{:.1}", (1.0 - f.frac_burstable) * 100.0),
+    ]);
+    t
+}
+
+/// Renders Fig 6b (only non-empty bins, like the paper's axis).
+pub fn render_6b(f: &Fig6) -> Table {
+    let burstable: u64 = f.run_bins.iter().sum::<u64>() + f.run_overflow;
+    let mut t = Table::new(&["max frames in 1 burst", "% of burstable frames"]);
+    for (i, &n) in f.run_bins.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        t.row(&[
+            format!("{}-{}", i as u64 * BIN_FRAMES, (i as u64 + 1) * BIN_FRAMES),
+            format!("{:.1}", n as f64 / burstable as f64 * 100.0),
+        ]);
+    }
+    if f.run_overflow > 0 {
+        t.row(&[
+            "200-inf".into(),
+            format!("{:.1}", f.run_overflow as f64 / burstable as f64 * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burstability_matches_fig6() {
+        let f = study(20, 10, 11);
+        // Paper: ~40 % of frames cannot burst, ~60 % can.
+        assert!(
+            (0.5..0.72).contains(&f.frac_burstable),
+            "burstable {:.2}",
+            f.frac_burstable
+        );
+        assert!(f.total_frames > 100_000);
+        // Runs both under 36 frames and beyond 60 frames exist (long tail).
+        let short: u64 = f.run_bins[..12].iter().sum();
+        let long: u64 = f.run_bins[20..].iter().sum::<u64>() + f.run_overflow;
+        assert!(short > 0, "short runs missing");
+        assert!(long > 0, "long tail missing");
+    }
+}

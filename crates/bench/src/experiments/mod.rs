@@ -1,0 +1,18 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes a typed `*Row`/result structure (so integration
+//! tests can assert on shapes) plus a `print()`/`render()` that emits the
+//! same series the paper plots.
+
+pub mod ablations;
+pub mod check;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod tables;

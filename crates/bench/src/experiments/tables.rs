@@ -1,0 +1,111 @@
+//! Tables 1–3: applications and their IP flows, the multi-application
+//! workloads, and the platform parameters.
+
+use vip_core::{Scheme, SystemConfig};
+use workloads::{App, Workload};
+
+use crate::table::Table;
+
+/// Renders Table 1 (applications and their IP flows).
+pub fn table1() -> Table {
+    let mut t = Table::new(&["App", "App Name", "IP Flows"]);
+    for &app in &App::ALL {
+        let flows = app
+            .chains()
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|ip| ip.abbrev())
+                    .collect::<Vec<_>>()
+                    .join(" - ")
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        t.row(&[app.id().into(), app.name().into(), flows]);
+    }
+    t
+}
+
+/// Renders Table 2 (multi-application workloads).
+pub fn table2() -> Table {
+    let mut t = Table::new(&["Wkld", "Application Combination", "Use-case"]);
+    for &w in &Workload::ALL {
+        let spec = w.spec(0);
+        let combo = spec
+            .apps
+            .iter()
+            .map(|a| a.app.name())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        t.row(&[w.id().into(), combo, spec.description.into()]);
+    }
+    t
+}
+
+/// Renders Table 3 (platform parameters).
+pub fn table3() -> Table {
+    let cfg = SystemConfig::table3(Scheme::Vip);
+    let mut t = Table::new(&["Component", "Configuration"]);
+    t.row(&[
+        "Processor".into(),
+        format!(
+            "{}-core in-order, {:.1} GIPS/core",
+            cfg.num_cpus,
+            cfg.cpu.instructions_per_sec / 1e9
+        ),
+    ]);
+    t.row(&[
+        "Memory".into(),
+        format!(
+            "LPDDR3; {} channel; {} rank; {} banks; tCL,tRP,tRCD = {},{},{} ns; peak {:.1} GB/s",
+            cfg.dram.channels,
+            cfg.dram.ranks,
+            cfg.dram.banks,
+            cfg.dram.t_cl.as_ns(),
+            cfg.dram.t_rp.as_ns(),
+            cfg.dram.t_rcd.as_ns(),
+            cfg.dram.peak_bandwidth_gbps()
+        ),
+    ]);
+    t.row(&[
+        "IP params".into(),
+        "Aud.Frame: 16KB; Vid.Frame: 4K (3840x2160); Camera: 2560x1620; 60 FPS (16.66 ms)"
+            .into(),
+    ]);
+    t.row(&[
+        "VIP".into(),
+        format!(
+            "{} B sub-frames; {} B/lane buffers; up to {} lanes; burst {}; EDF",
+            cfg.subframe_bytes, cfg.buffer_bytes_per_lane, cfg.max_lanes, cfg.burst_frames
+        ),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_apps() {
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        let s = t.render();
+        assert!(s.contains("VD - DC"), "{s}");
+        assert!(s.contains("CAM - VE - MMC"), "{s}");
+    }
+
+    #[test]
+    fn table2_lists_all_workloads() {
+        let t = table2();
+        assert_eq!(t.len(), 8);
+        assert!(t.render().contains("teleconferencing"));
+    }
+
+    #[test]
+    fn table3_has_platform_rows() {
+        let s = table3().render();
+        assert!(s.contains("LPDDR3"));
+        assert!(s.contains("4K"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # vip-bench — the experiment harness
+//!
+//! One generator per table and figure of the paper. Each experiment
+//! module produces typed rows (so integration tests can assert on
+//! shapes) and pretty-prints the same table/series the paper plots.
+//! The `figures` binary drives them:
+//!
+//! ```text
+//! figures --exp table1        # Table 1: applications and their IP flows
+//! figures --exp fig15         # energy per frame, 5 schemes × A1..W8
+//! figures --exp all           # everything, in paper order
+//! figures --exp fig15 --ms 200 --seed 7
+//! ```
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_app, run_workload, Matrix, RunSettings, Unit};
+pub use table::Table;

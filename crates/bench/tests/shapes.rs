@@ -1,0 +1,84 @@
+//! Shape tests over the experiment harness: the figure projections must
+//! reproduce the paper's orderings on a reduced matrix.
+
+use vip_bench::experiments::{fig15, fig16, fig17, fig18};
+use vip_bench::{Matrix, RunSettings, Unit};
+use workloads::{App, Workload};
+
+fn small_matrix() -> Matrix {
+    // One single-app unit and two multi-app workloads keep runtime modest
+    // while exercising every projection.
+    Matrix::run_subset(
+        RunSettings::with_ms(300),
+        &[
+            Unit::App(App::A5),
+            Unit::Wkld(Workload::W1),
+            Unit::Wkld(Workload::W4),
+        ],
+    )
+}
+
+#[test]
+fn figure_projections_agree_with_paper_shapes() {
+    let m = small_matrix();
+
+    // Fig 15: energy normalized to baseline; every enhancement saves.
+    let f15 = fig15::rows(&m);
+    let avg = fig15::avg(&f15);
+    assert!(avg.normalized[0] == 1.0);
+    assert!(avg.normalized[1] < 1.0, "FrameBurst saves energy");
+    assert!(avg.normalized[2] < 1.0, "IP-to-IP saves energy");
+    assert!(
+        avg.normalized[4] < avg.normalized[2],
+        "VIP beats plain IP-to-IP (paper: ~22%)"
+    );
+
+    // Fig 16: bursts cut CPU energy, instructions, and interrupts.
+    let f16 = fig16::rows(&m);
+    let avg16 = f16.last().unwrap();
+    assert!(
+        (10.0..90.0).contains(&avg16.cpu_energy_reduction_pct),
+        "CPU energy reduction {:.1}%",
+        avg16.cpu_energy_reduction_pct
+    );
+    assert!(avg16.instructions_reduction_pct > 10.0);
+    assert!(
+        avg16.irq_burst * 3.0 < avg16.irq_baseline,
+        "bursts must slash interrupts: {} vs {}",
+        avg16.irq_burst,
+        avg16.irq_baseline
+    );
+
+    // Fig 17: chained schemes shorten flow time.
+    let f17 = fig17::rows(&m);
+    let avg17 = fig17::avg(&f17);
+    assert!(avg17.normalized[2] < 0.9, "IP-to-IP flow time");
+    assert!(avg17.normalized[4] < 0.9, "VIP flow time");
+
+    // Fig 18: VIP's violation rate beats un-virtualized bursts.
+    let f18 = fig18::rows(&m);
+    let avg18 = fig18::avg(&f18);
+    assert!(
+        avg18.absolute[4] <= avg18.absolute[3],
+        "VIP {} vs IP-to-IP w FB {}",
+        avg18.absolute[4],
+        avg18.absolute[3]
+    );
+    assert!(
+        avg18.absolute[4] <= avg18.absolute[0],
+        "VIP {} vs baseline {}",
+        avg18.absolute[4],
+        avg18.absolute[0]
+    );
+}
+
+#[test]
+fn hol_blocking_visible_on_shared_display_workload() {
+    let m = Matrix::run_subset(RunSettings::with_ms(500), &[Unit::Wkld(Workload::W1)]);
+    let rows = fig18::rows(&m);
+    let w1 = &rows[0];
+    // Bursts without virtualization suffer at least as many violations as
+    // VIP, which recovers to (at worst) baseline levels.
+    assert!(w1.absolute[3] >= w1.absolute[4]);
+    assert!(w1.absolute[1] >= w1.absolute[4], "FrameBurst vs VIP");
+}

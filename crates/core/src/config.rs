@@ -1,0 +1,326 @@
+//! System configuration: the five schemes and the Table 3 platform.
+
+use desim::SimDelta;
+use dram::DramConfig;
+use soc::{AgentConfig, CpuConfig, IpConfig, IpKind};
+
+/// The five system designs evaluated in the paper (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Per-frame CPU orchestration, all data through DRAM.
+    Baseline,
+    /// Burst scheduling (one driver call + interrupt per IP per burst),
+    /// data still through DRAM.
+    FrameBurst,
+    /// IP-to-IP chaining (one super-request and one interrupt per frame),
+    /// no bursts, single-lane buffers.
+    IpToIp,
+    /// Chaining + bursts, but un-virtualized IPs (head-of-line blocking).
+    IpToIpBurst,
+    /// The full proposal: chaining + bursts + multi-lane virtualized IPs
+    /// with hardware EDF scheduling.
+    Vip,
+}
+
+impl Scheme {
+    /// All five, in the paper's bar order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::FrameBurst,
+        Scheme::IpToIp,
+        Scheme::IpToIpBurst,
+        Scheme::Vip,
+    ];
+
+    /// Whether IPs forward data directly (bypassing DRAM between stages).
+    pub fn chained(self) -> bool {
+        matches!(self, Scheme::IpToIp | Scheme::IpToIpBurst | Scheme::Vip)
+    }
+
+    /// Whether the CPU dispatches frames in bursts.
+    pub fn bursts(self) -> bool {
+        matches!(self, Scheme::FrameBurst | Scheme::IpToIpBurst | Scheme::Vip)
+    }
+
+    /// Whether IPs are virtualized (multi-lane buffers + hardware
+    /// scheduling between concurrent flows).
+    pub fn virtualized(self) -> bool {
+        matches!(self, Scheme::Vip)
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::FrameBurst => "FrameBurst",
+            Scheme::IpToIp => "IP-to-IP",
+            Scheme::IpToIpBurst => "IP-to-IP w FB",
+            Scheme::Vip => "VIP",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware scheduling policy of a virtualized IP's lanes (VIP uses EDF;
+/// the others exist for the ablation study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Earliest deadline first (the paper's choice, §5.3).
+    Edf,
+    /// Oldest active item first.
+    Fifo,
+    /// Rotate lanes.
+    RoundRobin,
+}
+
+/// Periodic non-media CPU work that contends with driver tasks (the
+/// Android framework, app logic, services). Each core runs one such task
+/// every `period`, staggered across cores. Per-frame driver interactions
+/// queue behind these tasks, so schemes with more CPU round-trips per
+/// frame (the baseline's per-stage setup + interrupt) suffer more jitter —
+/// the paper's motivation for removing the CPU from the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundLoad {
+    /// Interval between background tasks per core.
+    pub period: SimDelta,
+    /// Length of each background task.
+    pub duration: SimDelta,
+}
+
+/// A CPU work quantum (driver setup, interrupt service, frame prep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuWork {
+    /// Execution time in nanoseconds.
+    pub ns: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+impl CpuWork {
+    /// Creates a work quantum.
+    pub const fn new(ns: u64, instructions: u64) -> Self {
+        CpuWork { ns, instructions }
+    }
+}
+
+/// Full platform + scheme configuration (defaults per the paper's Table 3).
+///
+/// # Example
+///
+/// ```
+/// use vip_core::{Scheme, SystemConfig};
+/// let cfg = SystemConfig::table3(Scheme::Vip);
+/// assert_eq!(cfg.num_cpus, 4);
+/// assert_eq!(cfg.subframe_bytes, 1024);
+/// assert_eq!(cfg.buffer_bytes_per_lane, 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which of the five systems to simulate.
+    pub scheme: Scheme,
+    /// Number of CPU cores (Table 3: 4).
+    pub num_cpus: usize,
+    /// Per-core parameters.
+    pub cpu: CpuConfig,
+    /// Memory system (Table 3 LPDDR3 by default).
+    pub dram: DramConfig,
+    /// System Agent parameters.
+    pub agent: AgentConfig,
+    /// Per-IP parameters, indexed by [`IpKind::index`].
+    pub ips: Vec<IpConfig>,
+    /// Sub-frame granularity for IP pipelining and scheduling (paper §5.5:
+    /// 1 KB).
+    pub subframe_bytes: u64,
+    /// Flow-buffer capacity per lane (paper §5.5: 2 KB = 32 lines).
+    pub buffer_bytes_per_lane: u64,
+    /// Maximum buffer lanes per IP under VIP (paper §5.5: 4).
+    pub max_lanes: usize,
+    /// Frames per burst in burst-mode schemes (paper §4.3 example: 5).
+    pub burst_frames: u32,
+    /// Lane-to-lane context-switch penalty of a virtualized IP.
+    pub ctx_switch: SimDelta,
+    /// Lane scheduling policy under VIP.
+    pub sched_policy: SchedPolicy,
+    /// Driver invocation cost (per IP per dispatch).
+    pub driver_setup: CpuWork,
+    /// Interrupt service + callback cost (per interrupt).
+    pub irq_service: CpuWork,
+    /// Per-IP context carried by a header packet, in bytes (paper §5.4:
+    /// ≤1 KB per IP).
+    pub header_context_bytes: u64,
+    /// Source-side in-flight frame limit; beyond it new frames are dropped
+    /// (the Nexus 7 driver queue depth of 7 from paper §2.2).
+    pub source_queue_limit: u32,
+    /// Background (non-media) CPU load; `None` for a sterile platform.
+    pub background: Option<BackgroundLoad>,
+    /// Whether interactive flows re-compute speculated frames when a touch
+    /// interrupts a dispatched burst (the paper's Fig 11 rollback API).
+    pub rollback: bool,
+    /// Simulated duration.
+    pub duration: SimDelta,
+    /// RNG seed (workload jitter).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 3 platform under the given scheme.
+    pub fn table3(scheme: Scheme) -> Self {
+        SystemConfig {
+            scheme,
+            num_cpus: 4,
+            cpu: CpuConfig::default_mobile(),
+            dram: DramConfig::lpddr3_table3(),
+            agent: AgentConfig::default_mobile(),
+            ips: IpKind::ALL.iter().map(|&k| IpConfig::default_for(k)).collect(),
+            subframe_bytes: 1024,
+            buffer_bytes_per_lane: 2048,
+            max_lanes: 4,
+            burst_frames: 5,
+            ctx_switch: SimDelta::from_ns(80),
+            sched_policy: SchedPolicy::Edf,
+            driver_setup: CpuWork::new(200_000, 240_000),
+            irq_service: CpuWork::new(60_000, 72_000),
+            header_context_bytes: 1024,
+            source_queue_limit: 7,
+            background: Some(BackgroundLoad {
+                period: SimDelta::from_ms(90),
+                duration: SimDelta::from_ms(12),
+            }),
+            rollback: true,
+            duration: SimDelta::from_ms(500),
+            seed: 0x5EED_0001,
+        }
+    }
+
+    /// The IP configuration for a kind.
+    pub fn ip(&self, kind: IpKind) -> &IpConfig {
+        &self.ips[kind.index()]
+    }
+
+    /// Mutable IP configuration for a kind.
+    pub fn ip_mut(&mut self, kind: IpKind) -> &mut IpConfig {
+        &mut self.ips[kind.index()]
+    }
+
+    /// Effective burst size for this scheme (1 when bursts are disabled).
+    pub fn effective_burst(&self) -> u32 {
+        if self.scheme.bursts() {
+            self.burst_frames.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Lanes instantiated per IP for this scheme.
+    pub fn lanes_per_ip(&self) -> usize {
+        if self.scheme.virtualized() {
+            self.max_lanes.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cpus == 0 {
+            return Err("need at least one CPU".into());
+        }
+        if self.subframe_bytes == 0 {
+            return Err("sub-frame size must be nonzero".into());
+        }
+        if self.buffer_bytes_per_lane < 2 * self.subframe_bytes {
+            return Err(format!(
+                "lane buffer ({} B) smaller than two sub-frames ({} B): the \
+                 credit protocol frees space when a sub-frame enters compute, \
+                 so capacity must cover one resident and one in-flight chunk \
+                 (the paper's §5.5 choice is 2 KB for 1 KB sub-frames)",
+                self.buffer_bytes_per_lane, self.subframe_bytes
+            ));
+        }
+        if self.burst_frames == 0 {
+            return Err("burst size must be at least 1".into());
+        }
+        if self.ips.len() != IpKind::ALL.len() {
+            return Err("ips must cover every IpKind".into());
+        }
+        self.cpu.validate()?;
+        self.dram.validate()?;
+        if self.duration == SimDelta::ZERO {
+            return Err("zero duration".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_capability_matrix() {
+        use Scheme::*;
+        assert!(!Baseline.chained() && !Baseline.bursts() && !Baseline.virtualized());
+        assert!(!FrameBurst.chained() && FrameBurst.bursts());
+        assert!(IpToIp.chained() && !IpToIp.bursts());
+        assert!(IpToIpBurst.chained() && IpToIpBurst.bursts() && !IpToIpBurst.virtualized());
+        assert!(Vip.chained() && Vip.bursts() && Vip.virtualized());
+        assert_eq!(Scheme::ALL.len(), 5);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn table3_validates_for_all_schemes() {
+        for &s in &Scheme::ALL {
+            SystemConfig::table3(s).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn effective_burst_follows_scheme() {
+        assert_eq!(SystemConfig::table3(Scheme::Baseline).effective_burst(), 1);
+        assert_eq!(SystemConfig::table3(Scheme::IpToIp).effective_burst(), 1);
+        assert_eq!(SystemConfig::table3(Scheme::FrameBurst).effective_burst(), 5);
+        assert_eq!(SystemConfig::table3(Scheme::Vip).effective_burst(), 5);
+    }
+
+    #[test]
+    fn lanes_follow_scheme() {
+        assert_eq!(SystemConfig::table3(Scheme::IpToIpBurst).lanes_per_ip(), 1);
+        assert_eq!(SystemConfig::table3(Scheme::Vip).lanes_per_ip(), 4);
+    }
+
+    #[test]
+    fn undersized_buffer_rejected() {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.buffer_bytes_per_lane = 512; // smaller than 1 KB sub-frame
+        assert!(cfg.validate().is_err());
+        // Exactly one sub-frame is also too small for the credit protocol.
+        cfg.buffer_bytes_per_lane = cfg.subframe_bytes;
+        assert!(cfg.validate().is_err());
+        cfg.buffer_bytes_per_lane = 2 * cfg.subframe_bytes;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn ip_accessors() {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        assert_eq!(cfg.ip(IpKind::Vd).kind, IpKind::Vd);
+        cfg.ip_mut(IpKind::Vd).active_mw = 1.0;
+        assert_eq!(cfg.ip(IpKind::Vd).active_mw, 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Device presets: the handheld platforms the paper measured (§6.1:
+//! "Nexus 7, Asus Memo Pad 8, Samsung S4 and S5"), expressed as
+//! [`SystemConfig`] variants.
+//!
+//! The presets differ in the dimensions the paper calls out: memory
+//! bandwidth (the Nexus could not run four HD streams; the MemoPad ran
+//! four at reduced FPS), core count/speed, and accelerator throughput.
+//! They exist for sensitivity studies — the evaluation platform proper is
+//! [`SystemConfig::table3`].
+
+use desim::SimDelta;
+use soc::IpKind;
+
+use crate::config::{Scheme, SystemConfig};
+
+/// A handheld platform preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// 2013 Nexus 7: 4 cores, LPDDR2-class ~8.5 GB/s memory. The weakest
+    /// platform — §2.2's queue-depth and four-stream observations.
+    Nexus7,
+    /// Asus MemoPad 8: 4 cores, slightly faster memory; ran four HD
+    /// videos, at low FPS.
+    MemoPad8,
+    /// Samsung Galaxy S4: 4 cores, LPDDR3-800-class memory.
+    GalaxyS4,
+    /// Samsung Galaxy S5: the strongest measured device, close to the
+    /// simulated Table 3 platform.
+    GalaxyS5,
+    /// The paper's simulated evaluation platform (Table 3).
+    Table3,
+}
+
+impl Device {
+    /// All presets, weakest first.
+    pub const ALL: [Device; 5] = [
+        Device::Nexus7,
+        Device::MemoPad8,
+        Device::GalaxyS4,
+        Device::GalaxyS5,
+        Device::Table3,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Device::Nexus7 => "Nexus 7",
+            Device::MemoPad8 => "MemoPad 8",
+            Device::GalaxyS4 => "Galaxy S4",
+            Device::GalaxyS5 => "Galaxy S5",
+            Device::Table3 => "Table 3 (simulated)",
+        }
+    }
+
+    /// Builds the platform configuration for this device under `scheme`.
+    pub fn config(self, scheme: Scheme) -> SystemConfig {
+        let mut cfg = SystemConfig::table3(scheme);
+        match self {
+            Device::Nexus7 => {
+                cfg.dram.t_line = SimDelta::from_ns(30); // ~8.5 GB/s
+                cfg.cpu.instructions_per_sec = 0.9e9;
+                scale_ip_rates(&mut cfg, 0.7);
+            }
+            Device::MemoPad8 => {
+                cfg.dram.t_line = SimDelta::from_ns(24); // ~10.7 GB/s
+                cfg.cpu.instructions_per_sec = 1.0e9;
+                scale_ip_rates(&mut cfg, 0.8);
+            }
+            Device::GalaxyS4 => {
+                cfg.dram.t_line = SimDelta::from_ns(20); // ~12.8 GB/s
+                scale_ip_rates(&mut cfg, 0.9);
+            }
+            Device::GalaxyS5 => {
+                cfg.dram.t_line = SimDelta::from_ns(16); // ~16 GB/s
+            }
+            Device::Table3 => {}
+        }
+        cfg
+    }
+
+    /// Peak memory bandwidth of the preset, GB/s.
+    pub fn peak_memory_gbps(self) -> f64 {
+        self.config(Scheme::Baseline).dram.peak_bandwidth_gbps()
+    }
+}
+
+/// Scales every accelerator's streaming rate (weaker fixed-function blocks
+/// on older SoCs).
+fn scale_ip_rates(cfg: &mut SystemConfig, factor: f64) {
+    for ip in &mut cfg.ips {
+        // The display link and sensor rates are panel/sensor properties,
+        // not SoC generation properties.
+        if matches!(ip.kind, IpKind::Dc | IpKind::Cam | IpKind::Mic | IpKind::Snd) {
+            continue;
+        }
+        ip.compute_bytes_per_sec *= factor;
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+    use crate::sim::SystemSim;
+
+    #[test]
+    fn presets_validate_and_order_by_memory() {
+        let mut last = 0.0;
+        for &d in &Device::ALL {
+            let cfg = d.config(Scheme::Vip);
+            cfg.validate().unwrap();
+            let peak = d.peak_memory_gbps();
+            assert!(peak >= last, "{d}: {peak} < {last}");
+            last = peak;
+        }
+    }
+
+    #[test]
+    fn weaker_devices_decode_slower() {
+        let nexus = Device::Nexus7.config(Scheme::Baseline);
+        let table3 = Device::Table3.config(Scheme::Baseline);
+        assert!(
+            nexus.ip(IpKind::Vd).compute_bytes_per_sec
+                < table3.ip(IpKind::Vd).compute_bytes_per_sec
+        );
+        // Panel rate is a property of the display, not the SoC.
+        assert_eq!(
+            nexus.ip(IpKind::Dc).compute_bytes_per_sec,
+            table3.ip(IpKind::Dc).compute_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn nexus_struggles_where_table3_does_not() {
+        // Two 4K players: the weakest device must violate more deadlines
+        // than the simulated platform (the paper's four-stream story).
+        let flows = || -> Vec<FlowSpec> {
+            (0..2)
+                .map(|i| {
+                    FlowSpec::builder(format!("vid{i}"))
+                        .fps(60.0)
+                        .cpu_source(100_000, 300_000, 360_000)
+                        .stage_with_side_read(IpKind::Vd, 12_441_600, 12_441_600)
+                        .stage(IpKind::Dc, 0)
+                        .build()
+                })
+                .collect()
+        };
+        let run = |d: Device| {
+            let mut cfg = d.config(Scheme::Baseline);
+            cfg.duration = SimDelta::from_ms(600);
+            SystemSim::run(cfg, flows())
+        };
+        let nexus = run(Device::Nexus7);
+        let table3 = run(Device::Table3);
+        assert!(
+            nexus.frames_violated > table3.frames_violated,
+            "nexus {} vs table3 {}",
+            nexus.frames_violated,
+            table3.frames_violated
+        );
+        // And it pays more energy per frame to do worse.
+        assert!(nexus.energy_per_frame_mj() > table3.energy_per_frame_mj());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = Device::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), Device::ALL.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! The header packet that configures a virtual IP chain (paper Fig 12).
+//!
+//! One header packet precedes each super-request (frame or burst). It
+//! names the IPs in the flow, the frame geometry and QoS deadline, and
+//! carries up to 1 KB of per-IP context (pixel formats, codec state).
+//! The paper notes the packet is ~4 KB for the longest 4-IP flow —
+//! negligible next to the megabytes of frame data — and we account its
+//! System Agent traffic to verify exactly that.
+
+use soc::IpKind;
+
+/// Fixed field bytes per Fig 12: IPs-in-flow (4 B), frame size (2 B),
+/// frame rate (0.5 B), burst size (0.5 B), source and destination
+/// addresses (4 B each).
+const FIXED_BYTES: u64 = 4 + 2 + 1 + 4 + 4;
+
+/// A chain-configuration header packet.
+///
+/// # Example
+///
+/// ```
+/// use soc::IpKind;
+/// use vip_core::HeaderPacket;
+/// let h = HeaderPacket::new(&[IpKind::Vd, IpKind::Dc], 12_441_600, 60, 5, 1024);
+/// // ~2 KB for a 2-IP flow: 1 KB of context per IP plus small fixed fields.
+/// assert!(h.size_bytes() > 2048 && h.size_bytes() < 2100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderPacket {
+    /// The IPs in the flow, in order (Fig 12 encodes 4 bits per IP, up to 8).
+    pub ips: Vec<IpKind>,
+    /// Frame size in bytes (Fig 12 stores KB in 16 bits).
+    pub frame_bytes: u64,
+    /// Frame rate / deadline field.
+    pub fps: u32,
+    /// Frames in this burst.
+    pub burst: u32,
+    /// Per-IP context payload bytes (≤ 1 KB each per the paper).
+    pub context_bytes_per_ip: u64,
+}
+
+impl HeaderPacket {
+    /// Creates a header for a dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty.
+    pub fn new(
+        ips: &[IpKind],
+        frame_bytes: u64,
+        fps: u32,
+        burst: u32,
+        context_bytes_per_ip: u64,
+    ) -> Self {
+        assert!(!ips.is_empty(), "empty chain");
+        HeaderPacket {
+            ips: ips.to_vec(),
+            frame_bytes,
+            fps,
+            burst,
+            context_bytes_per_ip,
+        }
+    }
+
+    /// Total packet size in bytes: fixed fields + one context blob per IP.
+    pub fn size_bytes(&self) -> u64 {
+        FIXED_BYTES + self.ips.len() as u64 * self.context_bytes_per_ip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_ip_chain_is_about_4kb() {
+        let h = HeaderPacket::new(
+            &[IpKind::Cam, IpKind::Img, IpKind::Ve, IpKind::Mmc],
+            6_220_800,
+            60,
+            5,
+            1024,
+        );
+        let sz = h.size_bytes();
+        assert!((4096..4200).contains(&sz), "got {sz}");
+    }
+
+    #[test]
+    fn size_scales_with_chain_length() {
+        let short = HeaderPacket::new(&[IpKind::Vd], 1, 60, 1, 1024);
+        let long = HeaderPacket::new(&[IpKind::Vd, IpKind::Dc], 1, 60, 1, 1024);
+        assert_eq!(long.size_bytes() - short.size_bytes(), 1024);
+    }
+
+    #[test]
+    fn header_is_negligible_next_to_frame_data() {
+        let h = HeaderPacket::new(&[IpKind::Vd, IpKind::Dc], 12_441_600, 60, 5, 1024);
+        let burst_data = h.frame_bytes * h.burst as u64;
+        assert!(h.size_bytes() * 1000 < burst_data, "header not negligible");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty chain")]
+    fn empty_chain_rejected() {
+        let _ = HeaderPacket::new(&[], 1, 60, 1, 1024);
+    }
+}

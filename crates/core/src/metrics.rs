@@ -1,0 +1,326 @@
+//! Measurement results: per-frame records, per-flow summaries, and the
+//! system-level report every experiment consumes.
+
+use desim::{SimDelta, SimTime};
+use soc::{EnergyBreakdown, IpKind};
+
+use crate::config::Scheme;
+
+/// The life of one frame through its flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Nominal source instant (the presentation schedule).
+    pub sourced: SimTime,
+    /// QoS deadline.
+    pub deadline: SimTime,
+    /// When the CPU dispatched the frame (None if dropped at source).
+    pub dispatched: Option<SimTime>,
+    /// Per-stage processing span: (first compute, completion).
+    pub stage_spans: Vec<Option<(SimTime, SimTime)>>,
+    /// CPU time attributed to this frame (prep/setup/IRQ shares), ns.
+    pub cpu_ns: u64,
+    /// Completion at the final stage.
+    pub finished: Option<SimTime>,
+    /// Dropped at the source because the flow's in-flight queue was full.
+    pub dropped_at_source: bool,
+}
+
+impl FrameRecord {
+    /// Creates an un-dispatched record.
+    pub fn new(sourced: SimTime, deadline: SimTime, stages: usize) -> Self {
+        FrameRecord {
+            sourced,
+            deadline,
+            dispatched: None,
+            stage_spans: vec![None; stages],
+            cpu_ns: 0,
+            finished: None,
+            dropped_at_source: false,
+        }
+    }
+
+    /// Whether the frame finished past its deadline (only meaningful once
+    /// finished).
+    pub fn late(&self) -> bool {
+        matches!(self.finished, Some(f) if f > self.deadline)
+    }
+
+    /// Whether this frame counts as a QoS violation by instant `now`:
+    /// dropped at source, finished late, or unfinished past its deadline.
+    pub fn violated(&self, now: SimTime) -> bool {
+        if self.dropped_at_source {
+            return true;
+        }
+        match self.finished {
+            Some(f) => f > self.deadline,
+            None => now > self.deadline,
+        }
+    }
+
+    /// Per-frame flow time (the paper's Fig 17 metric): the makespan from
+    /// the first stage beginning work on this frame until the final stage
+    /// completes it. In the baseline this includes every CPU round-trip
+    /// between stages; pipelined schemes overlap stages and chained
+    /// schemes drop the memory detours. `None` until the frame finishes.
+    pub fn flow_time(&self) -> Option<SimDelta> {
+        let finished = self.finished?;
+        let begin = self
+            .stage_spans
+            .iter()
+            .flatten()
+            .map(|s| s.0)
+            .min()
+            .or(self.dispatched)?;
+        Some(finished.since(begin))
+    }
+}
+
+/// Summary of one flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// The flow's name.
+    pub name: String,
+    /// Frames whose nominal source time fell inside the run.
+    pub frames_sourced: u64,
+    /// Frames that completed the whole chain.
+    pub frames_completed: u64,
+    /// QoS violations (late + dropped) among frames with expired deadlines.
+    pub violations: u64,
+    /// Frames dropped at the source queue.
+    pub drops_at_source: u64,
+    /// Mean flow time over completed frames.
+    pub avg_flow_time: SimDelta,
+    /// 95th-percentile flow time over completed frames.
+    pub p95_flow_time: SimDelta,
+    /// Mean CPU time attributed per sourced frame.
+    pub avg_cpu_per_frame: SimDelta,
+}
+
+impl FlowReport {
+    /// Violations as a fraction of sourced frames.
+    pub fn violation_rate(&self) -> f64 {
+        if self.frames_sourced == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.frames_sourced as f64
+        }
+    }
+}
+
+/// Per-IP activity summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpReport {
+    /// Which IP.
+    pub kind: IpKind,
+    /// Utilization = compute ÷ active (Fig 3b).
+    pub utilization: f64,
+    /// Total active nanoseconds.
+    pub active_ns: u64,
+    /// Frames processed.
+    pub frames: u64,
+    /// Energy in joules.
+    pub energy_j: f64,
+    /// Lane context switches (VIP).
+    pub context_switches: u64,
+}
+
+/// The full result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Simulated span.
+    pub duration: SimDelta,
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// Frames whose nominal source time fell inside the run (all flows).
+    pub frames_sourced: u64,
+    /// Frames that completed end to end.
+    pub frames_completed: u64,
+    /// QoS violations (late + dropped).
+    pub frames_violated: u64,
+    /// Drops at source queues.
+    pub frames_dropped_at_source: u64,
+    /// Interrupts delivered to CPU cores.
+    pub interrupts: u64,
+    /// Burst rollbacks performed by interactive flows (paper Fig 11).
+    pub rollbacks: u64,
+    /// Sum of CPU active time across cores, ns.
+    pub cpu_active_ns: u64,
+    /// Instructions retired across cores.
+    pub cpu_instructions: u64,
+    /// CPU energy alone (subset of `energy`), J.
+    pub cpu_energy_j: f64,
+    /// CPU energy of the background (non-media) load, reported separately
+    /// and excluded from `energy` (the paper's per-frame energy is the
+    /// media subsystem's).
+    pub background_cpu_j: f64,
+    /// Per-flow reports, in input order.
+    pub flows: Vec<FlowReport>,
+    /// Per-IP reports for IPs that saw work.
+    pub ips: Vec<IpReport>,
+    /// Average consumed DRAM bandwidth, GB/s.
+    pub mem_avg_gbps: f64,
+    /// Fraction of 1 ms windows with DRAM bandwidth above 80 % of peak.
+    pub mem_frac_above_80pct: f64,
+    /// DRAM bandwidth timeline (GB/s per 1 ms window).
+    pub mem_bw_windows_gbps: Vec<f64>,
+    /// Bytes moved through DRAM.
+    pub mem_bytes: u64,
+    /// Bytes switched through the System Agent.
+    pub sa_bytes: u64,
+    /// Mean flow time over completed frames (all flows).
+    pub avg_flow_time: SimDelta,
+    /// 95th-percentile flow time over completed frames (all flows).
+    pub p95_flow_time: SimDelta,
+    /// Events the simulation dispatched (diagnostics).
+    pub events: u64,
+}
+
+impl SystemReport {
+    /// Total energy per sourced frame, in millijoules (Fig 15's metric
+    /// before normalization).
+    pub fn energy_per_frame_mj(&self) -> f64 {
+        if self.frames_sourced == 0 {
+            return 0.0;
+        }
+        self.energy.total_j() * 1e3 / self.frames_sourced as f64
+    }
+
+    /// QoS violations as a fraction of sourced frames (Fig 18's metric
+    /// before normalization).
+    pub fn violation_rate(&self) -> f64 {
+        if self.frames_sourced == 0 {
+            0.0
+        } else {
+            self.frames_violated as f64 / self.frames_sourced as f64
+        }
+    }
+
+    /// Interrupt rate per 100 ms (Fig 16b's metric).
+    pub fn irq_per_100ms(&self) -> f64 {
+        let secs = self.duration.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.interrupts as f64 / (secs * 10.0)
+        }
+    }
+
+    /// CPU active time per sourced frame, in milliseconds (Fig 2a's
+    /// metric).
+    pub fn cpu_ms_per_frame(&self) -> f64 {
+        if self.frames_sourced == 0 {
+            0.0
+        } else {
+            self.cpu_active_ns as f64 / 1e6 / self.frames_sourced as f64
+        }
+    }
+
+    /// The utilization of a given IP, if it saw work.
+    pub fn ip_utilization(&self, kind: IpKind) -> Option<f64> {
+        self.ips.iter().find(|r| r.kind == kind).map(|r| r.utilization)
+    }
+
+    /// Mean per-frame active time of a given IP, in milliseconds.
+    pub fn ip_active_ms_per_frame(&self, kind: IpKind) -> Option<f64> {
+        self.ips
+            .iter()
+            .find(|r| r.kind == kind && r.frames > 0)
+            .map(|r| r.active_ns as f64 / 1e6 / r.frames as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FrameRecord {
+        FrameRecord::new(SimTime::from_ms(0), SimTime::from_ms(16), 2)
+    }
+
+    #[test]
+    fn violation_logic() {
+        let mut r = record();
+        assert!(!r.violated(SimTime::from_ms(10)), "deadline not passed yet");
+        assert!(r.violated(SimTime::from_ms(17)), "unfinished past deadline");
+        r.finished = Some(SimTime::from_ms(12));
+        assert!(!r.violated(SimTime::from_ms(100)));
+        assert!(!r.late());
+        r.finished = Some(SimTime::from_ms(20));
+        assert!(r.late());
+        assert!(r.violated(SimTime::from_ms(15)), "late even before now passes deadline");
+    }
+
+    #[test]
+    fn dropped_frames_always_violate() {
+        let mut r = record();
+        r.dropped_at_source = true;
+        assert!(r.violated(SimTime::ZERO));
+    }
+
+    #[test]
+    fn flow_time_is_chain_makespan() {
+        let mut r = record();
+        assert_eq!(r.flow_time(), None);
+        r.stage_spans[0] = Some((SimTime::from_ms(2), SimTime::from_ms(5)));
+        r.stage_spans[1] = Some((SimTime::from_ms(4), SimTime::from_ms(11)));
+        r.finished = Some(SimTime::from_ms(11));
+        // Makespan from first stage begin (2ms) to finish (11ms).
+        assert_eq!(r.flow_time(), Some(SimDelta::from_ms(9)));
+    }
+
+    #[test]
+    fn report_rates() {
+        let rep = SystemReport {
+            scheme: Scheme::Baseline,
+            duration: SimDelta::from_ms(500),
+            energy: EnergyBreakdown {
+                cpu_j: 0.05,
+                dram_j: 0.05,
+                ip_j: 0.0,
+                sa_j: 0.0,
+                buffer_j: 0.0,
+            },
+            frames_sourced: 100,
+            frames_completed: 90,
+            frames_violated: 10,
+            frames_dropped_at_source: 2,
+            interrupts: 250,
+            rollbacks: 0,
+            cpu_active_ns: 200_000_000,
+            cpu_instructions: 1,
+            cpu_energy_j: 0.05,
+            background_cpu_j: 0.0,
+            flows: vec![],
+            ips: vec![],
+            mem_avg_gbps: 1.0,
+            mem_frac_above_80pct: 0.0,
+            mem_bw_windows_gbps: vec![],
+            mem_bytes: 0,
+            sa_bytes: 0,
+            avg_flow_time: SimDelta::from_ms(10),
+            p95_flow_time: SimDelta::from_ms(14),
+            events: 0,
+        };
+        assert!((rep.energy_per_frame_mj() - 1.0).abs() < 1e-12);
+        assert!((rep.violation_rate() - 0.1).abs() < 1e-12);
+        assert!((rep.irq_per_100ms() - 50.0).abs() < 1e-9);
+        assert!((rep.cpu_ms_per_frame() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flow_report_rate() {
+        let fr = FlowReport {
+            name: "x".into(),
+            frames_sourced: 50,
+            frames_completed: 45,
+            violations: 5,
+            drops_at_source: 0,
+            avg_flow_time: SimDelta::from_ms(8),
+            p95_flow_time: SimDelta::from_ms(12),
+            avg_cpu_per_frame: SimDelta::from_us(500),
+        };
+        assert!((fr.violation_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,237 @@
+//! Frame-timeline traces: the per-frame life records of a run, with a
+//! textual timeline renderer for debugging and for inspecting scheduling
+//! decisions (who blocked whom, where a deadline was lost).
+
+use desim::SimTime;
+
+use crate::metrics::FrameRecord;
+
+/// Every frame record of one flow, in frame order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowTrace {
+    /// The flow's name.
+    pub name: String,
+    /// IP abbreviations of the flow's stages, in order.
+    pub stage_names: Vec<&'static str>,
+    /// One record per sourced frame.
+    pub records: Vec<FrameRecord>,
+}
+
+impl FlowTrace {
+    /// Renders the first `max_frames` frames as a textual timeline:
+    /// one line per frame with source/dispatch/stage spans/finish times
+    /// and a deadline verdict.
+    pub fn render(&self, max_frames: usize) -> String {
+        let mut out = format!("flow {} ({}):\n", self.name, self.stage_names.join("->"));
+        for (k, r) in self.records.iter().take(max_frames).enumerate() {
+            out.push_str(&format!("  #{k:<3} src {:>9.3}ms", r.sourced.as_ms()));
+            if r.dropped_at_source {
+                out.push_str("  DROPPED AT SOURCE\n");
+                continue;
+            }
+            match r.dispatched {
+                Some(d) => out.push_str(&format!("  disp {:>9.3}ms", d.as_ms())),
+                None => out.push_str("  disp     -    "),
+            }
+            for (name, span) in self.stage_names.iter().zip(&r.stage_spans) {
+                match span {
+                    Some((b, e)) => out.push_str(&format!(
+                        "  {name}[{:.3}-{:.3}]",
+                        b.as_ms(),
+                        e.as_ms()
+                    )),
+                    None => out.push_str(&format!("  {name}[-]")),
+                }
+            }
+            match r.finished {
+                Some(f) => {
+                    let verdict = if f > r.deadline { "LATE" } else { "ok" };
+                    out.push_str(&format!(
+                        "  fin {:>9.3}ms ({verdict}, deadline {:.3}ms)\n",
+                        f.as_ms(),
+                        r.deadline.as_ms()
+                    ));
+                }
+                None => out.push_str("  unfinished\n"),
+            }
+        }
+        out
+    }
+
+    /// Renders frames `from..from+count` as a proportional ASCII Gantt
+    /// chart: one row per frame, one column per `resolution` of simulated
+    /// time, stage occupancy drawn with the stage's index digit and the
+    /// deadline marked with `|`.
+    pub fn render_gantt(&self, from: usize, count: usize, resolution: desim::SimDelta) -> String {
+        let records: Vec<&FrameRecord> = self
+            .records
+            .iter()
+            .skip(from)
+            .take(count)
+            .filter(|r| !r.dropped_at_source)
+            .collect();
+        let Some(origin) = records
+            .iter()
+            .filter_map(|r| r.dispatched.or(Some(r.sourced)))
+            .min()
+        else {
+            return format!("flow {}: no frames in range\n", self.name);
+        };
+        let end = records
+            .iter()
+            .map(|r| r.finished.unwrap_or(r.deadline).max(r.deadline))
+            .max()
+            .unwrap_or(origin);
+        let cols = ((end.saturating_since(origin).as_ns() / resolution.as_ns().max(1)) as usize)
+            .clamp(1, 220);
+        let col_of = |t: SimTime| -> usize {
+            ((t.saturating_since(origin).as_ns() / resolution.as_ns().max(1)) as usize).min(cols)
+        };
+        let mut out = format!(
+            "flow {} (one column = {}; origin {:.3} ms)\n",
+            self.name,
+            resolution,
+            origin.as_ms()
+        );
+        for (k, r) in records.iter().enumerate() {
+            let mut row = vec![b' '; cols + 1];
+            for (s, span) in r.stage_spans.iter().enumerate() {
+                if let Some((b, e)) = span {
+                    let (cb, ce) = (col_of(*b), col_of(*e));
+                    let glyph = b'0' + (s as u8 % 10);
+                    for cell in row.iter_mut().take(ce.max(cb + 1)).skip(cb) {
+                        *cell = glyph;
+                    }
+                }
+            }
+            let d = col_of(r.deadline);
+            row[d] = b'|';
+            out.push_str(&format!(
+                "  #{:<3} {}\n",
+                from + k,
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out
+    }
+
+    /// The 95th-percentile flow time over finished frames, in
+    /// nanoseconds; 0 when nothing finished.
+    pub fn p95_flow_time_ns(&self) -> u64 {
+        percentile_ns(
+            self.records
+                .iter()
+                .filter_map(|r| r.flow_time().map(|d| d.as_ns())),
+            0.95,
+        )
+    }
+
+    /// Frames that missed their deadline by instant `now`.
+    pub fn violations(&self, now: SimTime) -> usize {
+        self.records.iter().filter(|r| r.violated(now)).count()
+    }
+}
+
+/// Exact percentile over a stream of nanosecond samples (nearest-rank).
+pub fn percentile_ns(samples: impl Iterator<Item = u64>, q: f64) -> u64 {
+    let mut v: Vec<u64> = samples.collect();
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDelta;
+
+    fn record(src_ms: u64, fin_ms: Option<u64>, deadline_ms: u64) -> FrameRecord {
+        let mut r = FrameRecord::new(
+            SimTime::from_ms(src_ms),
+            SimTime::from_ms(deadline_ms),
+            1,
+        );
+        r.dispatched = Some(SimTime::from_ms(src_ms));
+        if let Some(f) = fin_ms {
+            r.stage_spans[0] = Some((SimTime::from_ms(src_ms), SimTime::from_ms(f)));
+            r.finished = Some(SimTime::from_ms(f));
+        }
+        r
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile_ns([].into_iter(), 0.95), 0);
+        assert_eq!(percentile_ns([5].into_iter(), 0.95), 5);
+        let v = (1..=100u64).map(|x| x * 10);
+        assert_eq!(percentile_ns(v, 0.95), 950);
+        assert_eq!(percentile_ns((1..=100u64).map(|x| x * 10), 0.5), 510);
+    }
+
+    #[test]
+    fn render_shows_verdicts() {
+        let trace = FlowTrace {
+            name: "vid".into(),
+            stage_names: vec!["VD"],
+            records: vec![
+                record(0, Some(10), 16),
+                record(16, Some(40), 33),
+                {
+                    let mut r = record(33, None, 50);
+                    r.dropped_at_source = true;
+                    r
+                },
+            ],
+        };
+        let s = trace.render(10);
+        assert!(s.contains("(ok,"), "{s}");
+        assert!(s.contains("LATE"), "{s}");
+        assert!(s.contains("DROPPED AT SOURCE"), "{s}");
+        assert_eq!(trace.violations(SimTime::from_ms(100)), 2);
+    }
+
+    #[test]
+    fn gantt_renders_spans_and_deadlines() {
+        let trace = FlowTrace {
+            name: "vid".into(),
+            stage_names: vec!["VD", "DC"],
+            records: vec![{
+                let mut r = FrameRecord::new(
+                    SimTime::ZERO,
+                    SimTime::from_ms(16),
+                    2,
+                );
+                r.dispatched = Some(SimTime::ZERO);
+                r.stage_spans[0] = Some((SimTime::from_ms(1), SimTime::from_ms(5)));
+                r.stage_spans[1] = Some((SimTime::from_ms(5), SimTime::from_ms(9)));
+                r.finished = Some(SimTime::from_ms(9));
+                r
+            }],
+        };
+        let g = trace.render_gantt(0, 5, SimDelta::from_ms(1));
+        assert!(g.contains('0'), "{g}");
+        assert!(g.contains('1'), "{g}");
+        assert!(g.contains('|'), "{g}");
+        // Stage 0 occupies earlier columns than stage 1.
+        let line = g.lines().nth(1).unwrap();
+        assert!(line.find('0').unwrap() < line.find('1').unwrap());
+        // Empty ranges are handled.
+        assert!(trace.render_gantt(10, 5, SimDelta::from_ms(1)).contains("no frames"));
+    }
+
+    #[test]
+    fn p95_over_trace() {
+        let records = (0..20)
+            .map(|k| record(k, Some(k + 1 + k % 3), 1000))
+            .collect();
+        let trace = FlowTrace {
+            name: "x".into(),
+            stage_names: vec!["VD"],
+            records,
+        };
+        assert!(trace.p95_flow_time_ns() >= SimDelta::from_ms(3).as_ns());
+    }
+}

@@ -1,0 +1,200 @@
+//! Edge cases and failure injection: configurations at the boundaries of
+//! the model — lane oversubscription, extreme rates and geometries,
+//! minimal platforms — must degrade gracefully, never deadlock.
+
+use desim::SimDelta;
+use soc::IpKind;
+use vip_core::{FlowSpec, Scheme, SystemConfig, SystemSim};
+
+fn cfg(scheme: Scheme, ms: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::table3(scheme);
+    cfg.duration = SimDelta::from_ms(ms);
+    cfg.background = None;
+    cfg
+}
+
+fn tiny_video(name: &str, fps: f64) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(fps)
+        .cpu_source(10_000, 50_000, 60_000)
+        .stage(IpKind::Vd, 200_000)
+        .stage(IpKind::Dc, 0)
+        .build()
+}
+
+/// More flows than VIP lanes: flows must share lanes without deadlock.
+#[test]
+fn vip_lane_oversubscription() {
+    let flows: Vec<FlowSpec> = (0..6).map(|i| tiny_video(&format!("v{i}"), 30.0)).collect();
+    let rep = SystemSim::run(cfg(Scheme::Vip, 300), flows);
+    assert!(
+        rep.frames_completed > 0,
+        "six flows on four lanes stalled: {rep:?}"
+    );
+    // Every flow progresses (no starvation).
+    for f in &rep.flows {
+        assert!(f.frames_completed > 0, "{} starved", f.name);
+    }
+}
+
+/// Many flows on every scheme: stress the shared single lane too.
+#[test]
+fn eight_flows_every_scheme() {
+    for &scheme in &Scheme::ALL {
+        let flows: Vec<FlowSpec> =
+            (0..8).map(|i| tiny_video(&format!("v{i}"), 30.0)).collect();
+        let rep = SystemSim::run(cfg(scheme, 250), flows);
+        assert!(rep.frames_completed > 0, "{scheme} stalled");
+    }
+}
+
+/// A single CPU core serializes all driver work but everything completes.
+#[test]
+fn single_core_platform() {
+    let mut c = cfg(Scheme::Baseline, 300);
+    c.num_cpus = 1;
+    let flows = vec![tiny_video("a", 30.0), tiny_video("b", 30.0)];
+    let rep = SystemSim::run(c, flows);
+    assert!(rep.frames_completed > 0);
+}
+
+/// Very high frame rate with tiny frames.
+#[test]
+fn high_rate_tiny_frames() {
+    let flow = FlowSpec::builder("fast")
+        .fps(240.0)
+        .cpu_source(1_000, 5_000, 6_000)
+        .stage(IpKind::Ad, 4_096)
+        .stage(IpKind::Snd, 0)
+        .build();
+    let rep = SystemSim::run(cfg(Scheme::Vip, 200), vec![flow]);
+    assert!(rep.frames_sourced > 40);
+    assert!(rep.frames_completed > 40);
+}
+
+/// Very low frame rate with a huge frame (one frame per run).
+#[test]
+fn low_rate_huge_frame() {
+    let flow = FlowSpec::builder("slow")
+        .fps(2.0)
+        .cpu_source(100_000, 100_000, 120_000)
+        .stage_with_side_read(IpKind::Vd, 50_000_000, 50_000_000)
+        .stage(IpKind::Dc, 0)
+        .deadline_periods(2.0)
+        .build();
+    let rep = SystemSim::run(cfg(Scheme::IpToIp, 900), vec![flow]);
+    assert!(rep.frames_completed >= 1, "huge frame never completed");
+}
+
+/// Frames smaller than one sub-frame (a single round per stage).
+#[test]
+fn sub_subframe_frames() {
+    let flow = FlowSpec::builder("tiny")
+        .fps(60.0)
+        .cpu_source(100, 10_000, 12_000)
+        .stage(IpKind::Ad, 300)
+        .stage(IpKind::Snd, 0)
+        .build();
+    for &scheme in &Scheme::ALL {
+        let rep = SystemSim::run(cfg(scheme, 150), vec![flow.clone()]);
+        assert!(rep.frames_completed > 0, "{scheme} lost sub-subframe frames");
+    }
+}
+
+/// A single-stage flow (source straight into a sink).
+#[test]
+fn single_stage_chain() {
+    let flow = FlowSpec::builder("direct")
+        .fps(30.0)
+        .cpu_source(1_000_000, 100_000, 120_000)
+        .stage(IpKind::Dc, 0)
+        .build();
+    for &scheme in &Scheme::ALL {
+        let rep = SystemSim::run(cfg(scheme, 200), vec![flow.clone()]);
+        assert!(rep.frames_completed > 0, "{scheme} failed single-stage");
+        // With one stage, chained and baseline interrupt once per dispatch.
+        assert!(rep.interrupts > 0);
+    }
+}
+
+/// Burst size of 1 under burst-capable schemes degenerates cleanly.
+#[test]
+fn burst_of_one() {
+    let mut c = cfg(Scheme::Vip, 200);
+    c.burst_frames = 1;
+    let rep = SystemSim::run(c, vec![tiny_video("v", 30.0)]);
+    assert!(rep.frames_completed > 0);
+}
+
+/// An enormous burst clamps to the driver queue depth instead of dropping
+/// every window.
+#[test]
+fn burst_clamped_by_queue_depth() {
+    let mut c = cfg(Scheme::Vip, 400);
+    c.burst_frames = 50;
+    let rep = SystemSim::run(c, vec![tiny_video("v", 60.0)]);
+    assert_eq!(
+        rep.frames_dropped_at_source, 0,
+        "clamped bursts must not mass-drop"
+    );
+    assert!(rep.frames_completed > 10);
+}
+
+/// Side reads larger than the frame itself (pathological reference
+/// pattern) still drain.
+#[test]
+fn oversized_side_reads() {
+    let flow = FlowSpec::builder("refheavy")
+        .fps(30.0)
+        .cpu_source(10_000, 50_000, 60_000)
+        .stage_with_side_read(IpKind::Vd, 500_000, 5_000_000)
+        .stage(IpKind::Dc, 0)
+        .deadline_periods(4.0)
+        .build();
+    let rep = SystemSim::run(cfg(Scheme::Vip, 300), vec![flow]);
+    assert!(rep.frames_completed > 0);
+}
+
+/// Ideal memory + VIP: the best case of everything still behaves.
+#[test]
+fn ideal_memory_vip() {
+    let mut c = cfg(Scheme::Vip, 200);
+    c.dram.ideal = true;
+    let rep = SystemSim::run(c, vec![tiny_video("v", 60.0)]);
+    assert!(rep.frames_completed > 0);
+    assert_eq!(rep.frames_violated, 0);
+}
+
+/// Buffers at the minimum legal depth (two sub-frames): slower, never
+/// deadlocked. One sub-frame is rejected by validation — the credit
+/// protocol can strand residue bytes there.
+#[test]
+fn minimal_lane_buffers() {
+    let mut c = cfg(Scheme::Vip, 300);
+    c.buffer_bytes_per_lane = 2 * c.subframe_bytes;
+    let rep = SystemSim::run(c, vec![tiny_video("v", 30.0)]);
+    assert!(rep.frames_completed > 0, "2-subframe buffers deadlocked");
+
+    let mut bad = cfg(Scheme::Vip, 100);
+    bad.buffer_bytes_per_lane = bad.subframe_bytes;
+    assert!(bad.validate().is_err(), "1-subframe buffers must be rejected");
+}
+
+/// Sensor flow at the queue limit: accumulation bursts never exceed the
+/// driver depth.
+#[test]
+fn sensor_accumulation_within_queue_limit() {
+    let flow = FlowSpec::builder("cam")
+        .fps(30.0)
+        .sensor_source()
+        .stage(IpKind::Cam, 500_000)
+        .stage(IpKind::Ve, 50_000)
+        .stage(IpKind::Nw, 0)
+        .deadline_periods(10.0)
+        .build();
+    let mut c = cfg(Scheme::Vip, 600);
+    c.burst_frames = 20; // would exceed the depth-7 queue if not clamped
+    let rep = SystemSim::run(c, vec![flow]);
+    assert!(rep.frames_completed > 0);
+    assert_eq!(rep.frames_dropped_at_source, 0);
+}

@@ -1,0 +1,219 @@
+//! Seedable, reproducible random numbers.
+//!
+//! Simulation workloads (frame-size jitter, user touch traces) need random
+//! draws that are bit-for-bit reproducible across platforms and releases, so
+//! this module carries its own tiny generator instead of depending on an
+//! external crate whose stream might change: [`SplitMix64`], the well-known
+//! 64-bit mixer of Steele, Lea & Flood, which passes BigCrush and is more
+//! than adequate for workload synthesis (it is not cryptographic).
+
+/// A seedable SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use desim::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Any seed, including zero, is fine.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Lemire-style rejection-free approximation is overkill here; the
+        // multiply-shift reduction has bias < 2^-64 * n which is negligible
+        // for workload synthesis.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform draw in `[lo, hi)` over the reals.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Normally distributed draw (Box–Muller).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Log-normally distributed draw with the given parameters of the
+    /// underlying normal (`mu`, `sigma`).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Picks an index with probability proportional to `weights[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted_index needs positive total weight"
+        );
+        let mut x = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Derives an independent child generator; useful for giving each flow
+    /// or component its own stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = SplitMix64::new(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} off");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SplitMix64::new(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = SplitMix64::new(6);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SplitMix64::new(8);
+        let mut counts = [0u32; 3];
+        for _ in 0..90_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 6.0])] += 1;
+        }
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+        assert!((counts[2] as f64 / 90_000.0 - 6.0 / 9.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut parent = SplitMix64::new(10);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Memory transactions.
+
+use desim::SimTime;
+
+/// Direction of a memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// DRAM → requester.
+    Read,
+    /// Requester → DRAM.
+    Write,
+}
+
+/// A memory transaction submitted by an IP, CPU, or DMA engine.
+///
+/// Requests may span several cache lines (a 1 KB sub-frame is 16 lines);
+/// the memory system splits them across channels/banks internally and
+/// completes the request when the last line finishes.
+///
+/// # Example
+///
+/// ```
+/// use dram::{MemOp, MemRequest};
+/// let req = MemRequest::new(0x8000, 1024, MemOp::Read, 42);
+/// assert_eq!(req.bytes, 1024);
+/// assert_eq!(req.tag, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Byte address of the first byte.
+    pub addr: u64,
+    /// Length in bytes (must be nonzero).
+    pub bytes: u64,
+    /// Read or write.
+    pub op: MemOp,
+    /// Caller correlation tag, returned in the [`Completion`].
+    pub tag: u64,
+}
+
+impl MemRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new(addr: u64, bytes: u64, op: MemOp, tag: u64) -> Self {
+        assert!(bytes > 0, "zero-length memory request");
+        MemRequest {
+            addr,
+            bytes,
+            op,
+            tag,
+        }
+    }
+}
+
+/// A finished memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The tag the request was submitted with.
+    pub tag: u64,
+    /// The direction of the completed request.
+    pub op: MemOp,
+    /// When the last line of the request finished transferring.
+    pub at: SimTime,
+    /// When the request was submitted (for latency accounting).
+    pub submitted: SimTime,
+}
+
+impl Completion {
+    /// End-to-end latency of the request in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.at.since(self.submitted).as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_rejected() {
+        let _ = MemRequest::new(0, 0, MemOp::Read, 0);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            tag: 1,
+            op: MemOp::Write,
+            at: SimTime::from_ns(150),
+            submitted: SimTime::from_ns(100),
+        };
+        assert_eq!(c.latency_ns(), 50);
+    }
+}

@@ -1,0 +1,362 @@
+//! The full memory system: address mapping + per-channel controllers +
+//! request reassembly + statistics.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use desim::SimTime;
+
+use crate::channel::{Burst, Channel, RowOutcome};
+use crate::config::DramConfig;
+use crate::mapping::AddressMapper;
+use crate::request::{Completion, MemOp, MemRequest};
+use crate::stats::MemStats;
+
+#[derive(Debug)]
+struct Parent {
+    tag: u64,
+    op: MemOp,
+    submitted: SimTime,
+    remaining: usize,
+}
+
+/// The memory system of the platform: splits requests into per-channel line
+/// bursts, services them FR-FCFS per channel, and reassembles completions.
+///
+/// Engine-agnostic driving contract:
+///
+/// 1. [`submit`](MemorySystem::submit) requests at the current time;
+/// 2. poll [`next_completion_time`](MemorySystem::next_completion_time) and
+///    arrange to call back then;
+/// 3. [`collect_completions`](MemorySystem::collect_completions) at (or
+///    after) that time to retrieve finished requests — this also lets
+///    queued work begin, so re-check `next_completion_time` afterwards.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: DramConfig,
+    mapper: AddressMapper,
+    channels: Vec<Channel>,
+    parents: Vec<Parent>,
+    free_parents: Vec<usize>,
+    // (burst completion time, seq, channel, parent, lines, outcome recorded at issue)
+    in_flight: BinaryHeap<Reverse<(SimTime, u64, usize, usize)>>,
+    seq: u64,
+    ready: Vec<Completion>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM config");
+        let mapper = AddressMapper::new(&cfg);
+        let channels = (0..cfg.channels).map(|_| Channel::new(cfg.clone())).collect();
+        MemorySystem {
+            cfg,
+            mapper,
+            channels,
+            parents: Vec::new(),
+            free_parents: Vec::new(),
+            in_flight: BinaryHeap::new(),
+            seq: 0,
+            ready: Vec::new(),
+            stats: MemStats::new(),
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Total bursts currently queued across channels (diagnostics).
+    pub fn queued_bursts(&self) -> usize {
+        self.channels.iter().map(|c| c.queued()).sum()
+    }
+
+    /// Submits a request. Completion is reported through
+    /// [`collect_completions`](MemorySystem::collect_completions).
+    pub fn submit(&mut self, now: SimTime, req: MemRequest) {
+        self.stats.traffic.record(now, req.bytes as f64);
+        match req.op {
+            MemOp::Read => self.stats.bytes_read.add(req.bytes),
+            MemOp::Write => self.stats.bytes_written.add(req.bytes),
+        }
+
+        if self.cfg.ideal {
+            // Zero service time; account and complete immediately.
+            self.stats.requests.incr();
+            self.stats.latency_ns.push(0.0);
+            self.stats.latency_p95_ns.push(0.0);
+            self.ready.push(Completion {
+                tag: req.tag,
+                op: req.op,
+                at: now,
+                submitted: now,
+            });
+            return;
+        }
+
+        let parts = self.mapper.split(req.addr, req.bytes, self.cfg.line_bytes);
+        let parent_idx = match self.free_parents.pop() {
+            Some(i) => {
+                self.parents[i] = Parent {
+                    tag: req.tag,
+                    op: req.op,
+                    submitted: now,
+                    remaining: parts.len(),
+                };
+                i
+            }
+            None => {
+                self.parents.push(Parent {
+                    tag: req.tag,
+                    op: req.op,
+                    submitted: now,
+                    remaining: parts.len(),
+                });
+                self.parents.len() - 1
+            }
+        };
+
+        for (place, lines) in parts {
+            self.channels[place.channel].enqueue(
+                now,
+                Burst {
+                    bank: place.bank,
+                    row: place.row,
+                    lines,
+                    op: req.op,
+                    parent: parent_idx,
+                },
+            );
+        }
+        self.pump(now);
+    }
+
+    /// Lets idle channels pick up queued work; called internally on submit
+    /// and collection.
+    fn pump(&mut self, now: SimTime) {
+        for (ci, ch) in self.channels.iter_mut().enumerate() {
+            while let Some(issued) = ch.try_issue(now) {
+                match issued.outcome {
+                    RowOutcome::Hit => self.stats.row_hits.incr(),
+                    RowOutcome::Empty => self.stats.row_empties.incr(),
+                    RowOutcome::Conflict => self.stats.row_conflicts.incr(),
+                }
+                if issued.activated {
+                    self.stats.activates.incr();
+                }
+                self.stats.busy_ns += (self.cfg.t_line * issued.burst.lines).as_ns();
+                self.in_flight.push(Reverse((
+                    issued.done,
+                    self.seq,
+                    ci,
+                    issued.burst.parent,
+                )));
+                self.seq += 1;
+            }
+        }
+        let sync = |total: u64, counter: &mut desim::stats::Counter| {
+            let booked = counter.get();
+            if total > booked {
+                counter.add(total - booked);
+            }
+        };
+        sync(
+            self.channels.iter().map(|c| c.refreshes).sum(),
+            &mut self.stats.refreshes,
+        );
+        sync(
+            self.channels.iter().map(|c| c.standby_ns).sum(),
+            &mut self.stats.standby_ns,
+        );
+        sync(
+            self.channels.iter().map(|c| c.powerdown_ns).sum(),
+            &mut self.stats.powerdown_ns,
+        );
+        sync(
+            self.channels.iter().map(|c| c.powerdown_exits).sum(),
+            &mut self.stats.powerdown_exits,
+        );
+    }
+
+    /// The earliest instant at which a completion will be available, if any
+    /// work is pending.
+    pub fn next_completion_time(&self) -> Option<SimTime> {
+        let inflight = self.in_flight.peek().map(|Reverse((t, ..))| *t);
+        let ready = self.ready.first().map(|c| c.at);
+        match (inflight, ready) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Collects every request that has finished by `now`. Also admits
+    /// queued bursts into freed channels, so callers should re-check
+    /// [`next_completion_time`](MemorySystem::next_completion_time) after
+    /// calling this.
+    pub fn collect_completions(&mut self, now: SimTime) -> Vec<Completion> {
+        let mut out = std::mem::take(&mut self.ready);
+        let mut any_freed = false;
+        while let Some(&Reverse((t, _, ci, parent))) = self.in_flight.peek() {
+            if t > now {
+                break;
+            }
+            self.in_flight.pop();
+            self.channels[ci].service_complete();
+            any_freed = true;
+            let p = &mut self.parents[parent];
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                self.stats.requests.incr();
+                let lat = t.since(p.submitted).as_ns() as f64;
+                self.stats.latency_ns.push(lat);
+                self.stats.latency_p95_ns.push(lat);
+                out.push(Completion {
+                    tag: p.tag,
+                    op: p.op,
+                    at: t,
+                    submitted: p.submitted,
+                });
+                self.free_parents.push(parent);
+            }
+        }
+        if any_freed {
+            self.pump(now);
+        }
+        out
+    }
+
+    /// Runs the memory system until every submitted request has completed,
+    /// returning all completions. Useful for tests and standalone studies.
+    pub fn drain(&mut self, mut now: SimTime) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_completion_time() {
+            now = now.max(t);
+            out.extend(self.collect_completions(now));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemorySystem {
+        MemorySystem::new(DramConfig::lpddr3_table3())
+    }
+
+    #[test]
+    fn single_request_completes_once() {
+        let mut mem = system();
+        mem.submit(SimTime::ZERO, MemRequest::new(0, 1024, MemOp::Read, 9));
+        let done = mem.drain(SimTime::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 9);
+        assert!(done[0].at > SimTime::ZERO);
+        assert_eq!(mem.stats().requests.get(), 1);
+        assert_eq!(mem.stats().bytes_read.get(), 1024);
+    }
+
+    #[test]
+    fn all_requests_eventually_complete() {
+        let mut mem = system();
+        for i in 0..100u64 {
+            mem.submit(
+                SimTime::ZERO,
+                MemRequest::new(i * 4096, 1024, MemOp::Write, i),
+            );
+        }
+        let done = mem.drain(SimTime::ZERO);
+        assert_eq!(done.len(), 100);
+        let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+        assert_eq!(mem.stats().bytes_written.get(), 100 * 1024);
+        assert_eq!(mem.queued_bursts(), 0);
+    }
+
+    #[test]
+    fn ideal_memory_completes_instantly() {
+        let mut mem = MemorySystem::new(DramConfig::ideal());
+        let t = SimTime::from_us(5);
+        mem.submit(t, MemRequest::new(0, 4096, MemOp::Read, 1));
+        assert_eq!(mem.next_completion_time(), Some(t));
+        let done = mem.collect_completions(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, t);
+        assert_eq!(done[0].latency_ns(), 0);
+        // Traffic still accounted.
+        assert_eq!(mem.stats().bytes_read.get(), 4096);
+    }
+
+    #[test]
+    fn contention_inflates_latency() {
+        // One lone request vs the same request behind a burst of traffic.
+        let mut lone = system();
+        lone.submit(SimTime::ZERO, MemRequest::new(0, 1024, MemOp::Read, 0));
+        let lone_lat = lone.drain(SimTime::ZERO)[0].latency_ns();
+
+        let mut busy = system();
+        for i in 0..50u64 {
+            busy.submit(SimTime::ZERO, MemRequest::new(i * 65536, 4096, MemOp::Write, 100 + i));
+        }
+        busy.submit(SimTime::ZERO, MemRequest::new(0, 1024, MemOp::Read, 0));
+        let done = busy.drain(SimTime::ZERO);
+        let busy_lat = done.iter().find(|c| c.tag == 0).unwrap().latency_ns();
+        assert!(
+            busy_lat > 2 * lone_lat,
+            "contended latency {busy_lat}ns vs lone {lone_lat}ns"
+        );
+    }
+
+    #[test]
+    fn sustained_bandwidth_is_near_peak_but_below_it() {
+        let mut mem = system();
+        // Stream 32 MB sequentially.
+        let total: u64 = 32 * 1024 * 1024;
+        let chunk = 4096u64;
+        for i in 0..total / chunk {
+            mem.submit(SimTime::ZERO, MemRequest::new(i * chunk, chunk, MemOp::Read, i));
+        }
+        let done = mem.drain(SimTime::ZERO);
+        let finish = done.iter().map(|c| c.at).max().unwrap();
+        let gbps = total as f64 / finish.as_secs() / 1e9;
+        let peak = mem.config().peak_bandwidth_gbps();
+        assert!(gbps < peak, "cannot exceed peak");
+        assert!(gbps > peak * 0.7, "sequential stream only {gbps:.1} GB/s of {peak} peak");
+    }
+
+    #[test]
+    fn parent_slots_are_recycled() {
+        let mut mem = system();
+        for round in 0..10u64 {
+            mem.submit(SimTime::ZERO, MemRequest::new(0, 64, MemOp::Read, round));
+            mem.drain(SimTime::ZERO);
+        }
+        assert!(mem.parents.len() <= 2, "parent table grew: {}", mem.parents.len());
+    }
+
+    #[test]
+    fn bandwidth_timeline_is_recorded() {
+        let mut mem = system();
+        mem.submit(SimTime::from_us(100), MemRequest::new(0, 1 << 20, MemOp::Read, 0));
+        mem.drain(SimTime::from_us(100));
+        let w = mem.stats().bandwidth_windows_gbps(SimTime::from_ms(1));
+        assert_eq!(w.len(), 1);
+        assert!(w[0] > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-lane flow buffers with credit-based flow control.
+//!
+//! IP-to-IP communication moves sub-frames from a producer IP into the
+//! consumer's input buffer lane. The paper (§5.5) sizes these at 2 KB
+//! (32 cache lines) per lane and chooses the simplest flow control: *stall
+//! the sender* until space frees. The producer must therefore reserve
+//! space before launching a transfer over the System Agent; the data
+//! occupies the reservation when it arrives; the consumer frees space when
+//! it pops a sub-frame into its compute engine.
+//!
+//! Invariant maintained (and property-tested): `used + reserved <=
+//! capacity`, with every reserve matched by exactly one commit, and every
+//! consume covered by prior commits.
+
+/// One input-buffer lane of a virtualized IP.
+///
+/// # Example
+///
+/// ```
+/// use soc::LaneBuffer;
+/// let mut lane = LaneBuffer::new(2048);
+/// assert!(lane.try_reserve(1024));
+/// lane.commit(1024);            // data arrived over the System Agent
+/// assert_eq!(lane.used(), 1024);
+/// lane.consume(1024);           // the IP's engine drained it
+/// assert!(lane.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBuffer {
+    capacity: u64,
+    used: u64,
+    reserved: u64,
+}
+
+impl LaneBuffer {
+    /// Creates an empty lane of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "zero-capacity lane");
+        LaneBuffer {
+            capacity,
+            used: 0,
+            reserved: 0,
+        }
+    }
+
+    /// Lane capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of data resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes reserved for in-flight transfers.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Bytes still available to reserve.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used - self.reserved
+    }
+
+    /// Whether no data is resident or in flight.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0 && self.reserved == 0
+    }
+
+    /// Attempts to reserve space for an incoming transfer. Returns `false`
+    /// (and changes nothing) if the lane cannot hold it — the producer must
+    /// stall.
+    pub fn try_reserve(&mut self, bytes: u64) -> bool {
+        if bytes <= self.free() {
+            self.reserved += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Converts a reservation into resident data (transfer arrived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the outstanding reservation.
+    pub fn commit(&mut self, bytes: u64) {
+        assert!(bytes <= self.reserved, "commit without reservation");
+        self.reserved -= bytes;
+        self.used += bytes;
+    }
+
+    /// Releases resident data (the IP consumed it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds resident data.
+    pub fn consume(&mut self, bytes: u64) {
+        assert!(bytes <= self.used, "consume more than resident");
+        self.used -= bytes;
+    }
+
+    /// Drops everything (flow torn down).
+    pub fn reset(&mut self) {
+        self.used = 0;
+        self.reserved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_commit_consume_cycle() {
+        let mut b = LaneBuffer::new(2048);
+        assert_eq!(b.free(), 2048);
+        assert!(b.try_reserve(1024));
+        assert_eq!(b.free(), 1024);
+        assert_eq!(b.reserved(), 1024);
+        b.commit(1024);
+        assert_eq!(b.used(), 1024);
+        assert_eq!(b.reserved(), 0);
+        b.consume(512);
+        assert_eq!(b.used(), 512);
+        assert_eq!(b.free(), 1536);
+    }
+
+    #[test]
+    fn full_lane_rejects_reservation() {
+        let mut b = LaneBuffer::new(2048);
+        assert!(b.try_reserve(2048));
+        assert!(!b.try_reserve(1), "lane is full");
+        b.commit(2048);
+        assert!(!b.try_reserve(1), "still full while resident");
+        b.consume(1024);
+        assert!(b.try_reserve(1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit without reservation")]
+    fn commit_without_reserve_panics() {
+        LaneBuffer::new(64).commit(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "consume more than resident")]
+    fn overconsume_panics() {
+        let mut b = LaneBuffer::new(64);
+        b.try_reserve(64);
+        b.commit(64);
+        b.consume(65);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut b = LaneBuffer::new(64);
+        b.try_reserve(32);
+        b.commit(16);
+        b.reset();
+        assert!(b.is_empty());
+        assert_eq!(b.free(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = LaneBuffer::new(0);
+    }
+}

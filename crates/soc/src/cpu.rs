@@ -1,0 +1,445 @@
+//! CPU core model: task queue, instruction accounting, and sleep states.
+//!
+//! The paper's Fig 2 shows why the CPU matters: in the baseline, cores are
+//! woken for every frame of every IP (driver setup, interrupt service),
+//! executing instructions and — worse — never idling long enough to reach
+//! deep sleep. Frame bursts exist precisely to lengthen the idle gaps.
+//!
+//! The model is an in-order core with a FIFO task queue. Each [`Task`]
+//! carries a duration, an instruction count, and a caller-defined payload.
+//! Idle-state selection is *retrospective* ("oracle governor"): when the
+//! core is next woken, the completed idle span selects the deepest sleep
+//! state whose break-even time fits, and energy plus wake latency are
+//! charged accordingly. This matches how simulators (including the paper's
+//! GemDroid methodology) estimate sleep residency without modeling a
+//! governor's mispredictions.
+
+use std::collections::VecDeque;
+
+use desim::{SimDelta, SimTime};
+
+/// One sleep (C-)state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SleepState {
+    /// Human-readable name ("C1", "C3", "C6").
+    pub name: &'static str,
+    /// Power while resident, in milliwatts.
+    pub power_mw: f64,
+    /// Latency to wake from this state.
+    pub wake_latency: SimDelta,
+    /// Minimum idle span for which entering this state pays off.
+    pub breakeven: SimDelta,
+}
+
+/// CPU core parameters.
+///
+/// # Example
+///
+/// ```
+/// use soc::CpuConfig;
+/// let cfg = CpuConfig::default_mobile();
+/// assert_eq!(cfg.sleep_states.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Power while executing, in milliwatts.
+    pub active_mw: f64,
+    /// Power while idle but not asleep (WFI), in milliwatts.
+    pub idle_mw: f64,
+    /// Available sleep states, ordered shallow → deep (break-even times
+    /// must be increasing).
+    pub sleep_states: Vec<SleepState>,
+    /// Sustained instruction rate when active, in instructions/second
+    /// (used by helpers that derive task durations from instruction
+    /// counts; in-order single-issue per Table 3).
+    pub instructions_per_sec: f64,
+}
+
+impl CpuConfig {
+    /// A mobile in-order core (Table 3: ARM, in-order, 1-issue) with three
+    /// sleep states.
+    pub fn default_mobile() -> Self {
+        CpuConfig {
+            active_mw: 800.0,
+            idle_mw: 120.0,
+            sleep_states: vec![
+                SleepState {
+                    name: "C1",
+                    power_mw: 40.0,
+                    wake_latency: SimDelta::from_us(10),
+                    breakeven: SimDelta::from_us(100),
+                },
+                SleepState {
+                    name: "C3",
+                    power_mw: 15.0,
+                    wake_latency: SimDelta::from_us(100),
+                    breakeven: SimDelta::from_ms(3),
+                },
+                SleepState {
+                    name: "C6",
+                    power_mw: 3.0,
+                    wake_latency: SimDelta::from_us(200),
+                    breakeven: SimDelta::from_ms(8),
+                },
+            ],
+            instructions_per_sec: 1.2e9,
+        }
+    }
+
+    /// Validates ordering constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev = SimDelta::ZERO;
+        for s in &self.sleep_states {
+            if s.breakeven <= prev {
+                return Err(format!("sleep state {} breakeven not increasing", s.name));
+            }
+            if s.power_mw >= self.idle_mw {
+                return Err(format!("sleep state {} no cheaper than idle", s.name));
+            }
+            prev = s.breakeven;
+        }
+        Ok(())
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::default_mobile()
+    }
+}
+
+/// A unit of CPU work (driver setup, interrupt service, app frame prep).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task<K> {
+    /// Execution time when the core is free.
+    pub duration: SimDelta,
+    /// Instructions retired by this task.
+    pub instructions: u64,
+    /// Caller payload, returned on completion.
+    pub kind: K,
+}
+
+impl<K> Task<K> {
+    /// Builds a task whose duration follows from its instruction count at
+    /// the configured instruction rate.
+    pub fn from_instructions(cfg: &CpuConfig, instructions: u64, kind: K) -> Self {
+        Task {
+            duration: SimDelta::from_secs_f64(instructions as f64 / cfg.instructions_per_sec),
+            instructions,
+            kind,
+        }
+    }
+}
+
+/// One in-order CPU core.
+///
+/// Protocol: [`submit`](CpuCore::submit) returns the completion instant when
+/// the task starts immediately; the caller schedules a callback then and
+/// calls [`task_done`](CpuCore::task_done), which returns the finished
+/// payload plus the completion instant of the next queued task (if any).
+///
+/// # Example
+///
+/// ```
+/// use desim::{SimDelta, SimTime};
+/// use soc::{CpuConfig, CpuCore, Task};
+/// let mut cpu: CpuCore<&str> = CpuCore::new(CpuConfig::default_mobile());
+/// let done = cpu
+///     .submit(SimTime::ZERO, Task { duration: SimDelta::from_us(50), instructions: 60_000, kind: "setup" })
+///     .expect("idle core starts immediately");
+/// let (kind, next) = cpu.task_done(done);
+/// assert_eq!(kind, "setup");
+/// assert!(next.is_none());
+/// ```
+#[derive(Debug)]
+pub struct CpuCore<K> {
+    cfg: CpuConfig,
+    queue: VecDeque<Task<K>>,
+    running: Option<(Task<K>, SimTime)>, // (task, started)
+    busy_until: SimTime,
+    idle_since: Option<SimTime>,
+    energy_j: f64,
+    /// Nanoseconds spent executing (including wake transitions).
+    pub active_ns: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Tasks completed.
+    pub tasks_run: u64,
+    /// Times the core was woken out of a sleep state (not plain idle).
+    pub wakeups: u64,
+    /// Nanoseconds resident in each sleep state, parallel to
+    /// `cfg.sleep_states`.
+    pub sleep_ns: Vec<u64>,
+}
+
+impl<K> CpuCore<K> {
+    /// Creates an idle core at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CpuConfig) -> Self {
+        cfg.validate().expect("invalid CPU config");
+        let n = cfg.sleep_states.len();
+        CpuCore {
+            cfg,
+            queue: VecDeque::new(),
+            running: None,
+            busy_until: SimTime::ZERO,
+            idle_since: Some(SimTime::ZERO),
+            energy_j: 0.0,
+            active_ns: 0,
+            instructions: 0,
+            tasks_run: 0,
+            wakeups: 0,
+            sleep_ns: vec![0; n],
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Whether a task is executing.
+    pub fn is_busy(&self) -> bool {
+        self.running.is_some()
+    }
+
+    /// Queued tasks not yet started.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Retrospectively books the idle period ending at `now` and returns
+    /// the wake latency of the chosen state. Among the states whose
+    /// break-even the span reaches (plus plain idle), the governor picks
+    /// the one minimizing total energy *including the wake transition*
+    /// (charged at active power by [`submit`](CpuCore::submit)); this is
+    /// the oracle-optimal choice and keeps per-second idle energy monotone
+    /// in gap length.
+    fn close_idle(&mut self, now: SimTime) -> SimDelta {
+        let Some(t0) = self.idle_since.take() else {
+            return SimDelta::ZERO;
+        };
+        let span = now.saturating_since(t0);
+        let wake_j = |w: SimDelta| self.cfg.active_mw * 1e-3 * w.as_secs();
+        let mut best_cost = self.cfg.idle_mw * 1e-3 * span.as_secs();
+        let mut power = self.cfg.idle_mw;
+        let mut wake = SimDelta::ZERO;
+        let mut slept = None;
+        for (i, s) in self.cfg.sleep_states.iter().enumerate() {
+            if span < s.breakeven {
+                continue;
+            }
+            let cost = s.power_mw * 1e-3 * span.as_secs() + wake_j(s.wake_latency);
+            if cost < best_cost {
+                best_cost = cost;
+                power = s.power_mw;
+                wake = s.wake_latency;
+                slept = Some(i);
+            }
+        }
+        if let Some(i) = slept {
+            self.sleep_ns[i] += span.as_ns();
+            self.wakeups += 1;
+        }
+        self.energy_j += power * 1e-3 * span.as_secs();
+        wake
+    }
+
+    /// Offers a task at `now`. Returns the completion instant if the core
+    /// was idle and the task starts immediately (after any wake latency);
+    /// `None` if the task was queued behind the running one.
+    pub fn submit(&mut self, now: SimTime, task: Task<K>) -> Option<SimTime> {
+        if self.running.is_some() {
+            self.queue.push_back(task);
+            return None;
+        }
+        let wake = self.close_idle(now);
+        let done = now + wake + task.duration;
+        self.running = Some((task, now));
+        self.busy_until = done;
+        Some(done)
+    }
+
+    /// Completes the running task at `now` (which must be its completion
+    /// instant). Returns its payload and, if another task was queued, the
+    /// completion instant of that next task (it starts immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is running.
+    pub fn task_done(&mut self, now: SimTime) -> (K, Option<SimTime>) {
+        let (task, started) = self.running.take().expect("task_done on idle core");
+        debug_assert_eq!(now, self.busy_until, "task_done at wrong instant");
+        let span = now.since(started);
+        self.active_ns += span.as_ns();
+        self.energy_j += self.cfg.active_mw * 1e-3 * span.as_secs();
+        self.instructions += task.instructions;
+        self.tasks_run += 1;
+
+        let next_done = match self.queue.pop_front() {
+            Some(next) => {
+                let done = now + next.duration;
+                self.running = Some((next, now));
+                self.busy_until = done;
+                Some(done)
+            }
+            None => {
+                self.idle_since = Some(now);
+                None
+            }
+        };
+        ((task.kind), next_done)
+    }
+
+    /// Closes the trailing idle period at end of simulation. Call once.
+    pub fn finalize(&mut self, now: SimTime) {
+        let _ = self.close_idle(now);
+    }
+
+    /// Energy consumed through the last booked transition, in joules.
+    /// (Call [`finalize`](CpuCore::finalize) first for a complete total.)
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuCore<u32> {
+        CpuCore::new(CpuConfig::default_mobile())
+    }
+
+    fn task(us: u64, kind: u32) -> Task<u32> {
+        Task {
+            duration: SimDelta::from_us(us),
+            instructions: us * 1200,
+            kind,
+        }
+    }
+
+    #[test]
+    fn idle_core_starts_immediately() {
+        let mut c = cpu();
+        let done = c.submit(SimTime::from_us(50), task(100, 1)).unwrap();
+        // Idle 50us: shorter than C1 breakeven (100us) → no wake latency.
+        assert_eq!(done, SimTime::from_us(150));
+        let (k, next) = c.task_done(done);
+        assert_eq!(k, 1);
+        assert!(next.is_none());
+        assert_eq!(c.tasks_run, 1);
+        assert_eq!(c.active_ns, 100_000);
+    }
+
+    #[test]
+    fn busy_core_queues_fifo() {
+        let mut c = cpu();
+        let d1 = c.submit(SimTime::ZERO, task(10, 1)).unwrap();
+        assert!(c.submit(SimTime::ZERO, task(20, 2)).is_none());
+        assert!(c.submit(SimTime::ZERO, task(30, 3)).is_none());
+        assert_eq!(c.queued(), 2);
+        let (k1, d2) = c.task_done(d1);
+        assert_eq!(k1, 1);
+        let d2 = d2.unwrap();
+        assert_eq!(d2, d1 + SimDelta::from_us(20));
+        let (k2, d3) = c.task_done(d2);
+        assert_eq!(k2, 2);
+        let (k3, none) = c.task_done(d3.unwrap());
+        assert_eq!(k3, 3);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn long_idle_pays_wake_latency_and_sleeps_deep() {
+        let mut c = cpu();
+        // Wake after 10ms of idle: C6 costs 3mW×10ms + 800mW×200us = 190uJ,
+        // beating C3's 15mW×10ms + 800mW×100us = 230uJ.
+        let done = c.submit(SimTime::from_ms(10), task(100, 1)).unwrap();
+        assert_eq!(done, SimTime::from_ms(10) + SimDelta::from_us(200 + 100));
+        assert_eq!(c.wakeups, 1);
+        assert_eq!(c.sleep_ns[2], 10_000_000);
+        assert_eq!(c.sleep_ns[0], 0);
+    }
+
+    #[test]
+    fn medium_idle_selects_middle_state() {
+        let mut c = cpu();
+        // 4ms: C3 costs 60+80 = 140uJ, beating C1 (160+8) and C6 (ineligible).
+        let _ = c.submit(SimTime::from_ms(4), task(10, 1)).unwrap();
+        assert_eq!(c.sleep_ns[1], 4_000_000, "C3 expected for 4ms idle");
+    }
+
+    #[test]
+    fn deep_sleep_saves_energy_versus_shallow() {
+        // Same total idle, chopped fine vs left whole.
+        let mut whole = cpu();
+        let d = whole.submit(SimTime::from_ms(100), task(10, 1)).unwrap();
+        whole.task_done(d);
+        whole.finalize(d);
+
+        let mut chopped = cpu();
+        let mut t = SimTime::ZERO;
+        for i in 0..1000 {
+            t = SimTime::from_us(i * 100);
+            // Keep poking every 100us (below C1 breakeven) with zero-length work.
+            let d = chopped
+                .submit(
+                    t,
+                    Task {
+                        duration: SimDelta::ZERO,
+                        instructions: 0,
+                        kind: 0,
+                    },
+                )
+                .unwrap();
+            chopped.task_done(d);
+        }
+        chopped.finalize(t);
+        assert!(
+            whole.energy_j() < chopped.energy_j() / 2.0,
+            "whole {} vs chopped {}",
+            whole.energy_j(),
+            chopped.energy_j()
+        );
+    }
+
+    #[test]
+    fn energy_accounts_active_power() {
+        let mut c = cpu();
+        let d = c.submit(SimTime::ZERO, task(1000, 1)).unwrap();
+        c.task_done(d);
+        // 1ms at 800mW = 0.8mJ.
+        assert!((c.energy_j() - 0.0008).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instruction_counting() {
+        let mut c = cpu();
+        let t = Task::from_instructions(c.config(), 1_200_000, 9u32);
+        assert_eq!(t.duration, SimDelta::from_ms(1));
+        let d = c.submit(SimTime::ZERO, t).unwrap();
+        c.task_done(d);
+        assert_eq!(c.instructions, 1_200_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "task_done on idle core")]
+    fn task_done_on_idle_panics() {
+        cpu().task_done(SimTime::ZERO);
+    }
+
+    #[test]
+    fn validate_rejects_unordered_breakevens() {
+        let mut cfg = CpuConfig::default_mobile();
+        cfg.sleep_states[2].breakeven = SimDelta::from_us(1);
+        assert!(cfg.validate().is_err());
+    }
+}

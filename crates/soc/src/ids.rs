@@ -1,0 +1,169 @@
+//! Identities: the IP-core taxonomy and id newtypes.
+//!
+//! The abbreviations follow the paper's Table 1 (which in turn follows the
+//! GemDroid paper): VD = video decoder, VE = video encoder, DC = display
+//! controller, AD/AE = audio decoder/encoder, SND/MIC = speaker/microphone
+//! interfaces, CAM = camera, IMG = image signal processor, NW = network
+//! interface, MMC = flash storage.
+
+use std::fmt;
+
+/// The accelerator (IP core) types of the modeled SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IpKind {
+    /// Video decoder.
+    Vd,
+    /// Video encoder.
+    Ve,
+    /// Graphics processor (render pipeline).
+    Gpu,
+    /// Display controller (scanout).
+    Dc,
+    /// Audio decoder.
+    Ad,
+    /// Audio encoder.
+    Ae,
+    /// Camera sensor interface.
+    Cam,
+    /// Microphone interface.
+    Mic,
+    /// Image signal processor.
+    Img,
+    /// Speaker / audio output interface.
+    Snd,
+    /// Network interface (Wi-Fi/cellular DMA).
+    Nw,
+    /// Flash storage controller.
+    Mmc,
+}
+
+impl IpKind {
+    /// Every IP kind, in a stable order (also the per-system IP index
+    /// order used by the simulator).
+    pub const ALL: [IpKind; 12] = [
+        IpKind::Vd,
+        IpKind::Ve,
+        IpKind::Gpu,
+        IpKind::Dc,
+        IpKind::Ad,
+        IpKind::Ae,
+        IpKind::Cam,
+        IpKind::Mic,
+        IpKind::Img,
+        IpKind::Snd,
+        IpKind::Nw,
+        IpKind::Mmc,
+    ];
+
+    /// The paper's abbreviation for this IP.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            IpKind::Vd => "VD",
+            IpKind::Ve => "VE",
+            IpKind::Gpu => "GPU",
+            IpKind::Dc => "DC",
+            IpKind::Ad => "AD",
+            IpKind::Ae => "AE",
+            IpKind::Cam => "CAM",
+            IpKind::Mic => "MIC",
+            IpKind::Img => "IMG",
+            IpKind::Snd => "SND",
+            IpKind::Nw => "NW",
+            IpKind::Mmc => "MMC",
+        }
+    }
+
+    /// Stable dense index of this kind within [`IpKind::ALL`].
+    pub fn index(self) -> usize {
+        IpKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind present in ALL")
+    }
+
+    /// Whether this IP is a *source*: it generates data paced by the real
+    /// world (sensor) rather than consuming an upstream stage's output.
+    pub fn is_sensor(self) -> bool {
+        matches!(self, IpKind::Cam | IpKind::Mic)
+    }
+
+    /// Whether this IP is a *sink*: its output leaves the SoC (panel,
+    /// speaker, radio, flash) rather than feeding another IP or memory.
+    pub fn is_sink(self) -> bool {
+        matches!(self, IpKind::Dc | IpKind::Snd | IpKind::Nw | IpKind::Mmc)
+    }
+}
+
+impl fmt::Display for IpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Index of an application flow within a simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub usize);
+
+/// Index of a CPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpuId(pub usize);
+
+/// Index of a buffer lane within one IP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub usize);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+impl fmt::Display for LaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lane{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_indexed() {
+        assert_eq!(IpKind::ALL.len(), 12);
+        for (i, k) in IpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<&str> = IpKind::ALL.iter().map(|k| k.abbrev()).collect();
+        assert_eq!(set.len(), 12);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        assert!(IpKind::Cam.is_sensor());
+        assert!(IpKind::Mic.is_sensor());
+        assert!(!IpKind::Vd.is_sensor());
+        assert!(IpKind::Dc.is_sink());
+        assert!(IpKind::Mmc.is_sink());
+        assert!(!IpKind::Gpu.is_sink());
+    }
+
+    #[test]
+    fn display_matches_abbrev() {
+        assert_eq!(IpKind::Vd.to_string(), "VD");
+        assert_eq!(FlowId(3).to_string(), "flow3");
+        assert_eq!(CpuId(1).to_string(), "cpu1");
+        assert_eq!(LaneId(0).to_string(), "lane0");
+    }
+}

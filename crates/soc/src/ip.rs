@@ -1,0 +1,311 @@
+//! IP-core parameters and activity statistics.
+//!
+//! An IP core is characterized by a streaming compute rate, a fixed
+//! per-frame overhead (command decode, pipeline fill), and a three-state
+//! power model: full power while computing, a reduced *stall* power while
+//! a frame is open but the engine waits (memory, input data, downstream
+//! credit), and a clock-gated idle floor — plus dynamic energy per byte.
+//! The distinction between *compute* time and *active* (open) time is
+//! load-bearing: the paper's Fig 3b plots utilization = compute ÷ active,
+//! the whole case for IP-to-IP communication is that memory stalls inflate
+//! active time without adding compute, and the stall power is exactly the
+//! energy VIP's virtualization recovers from blocked producers.
+
+use desim::{SimDelta, SimTime};
+
+use crate::ids::IpKind;
+
+/// Throughput and power parameters of one IP core.
+///
+/// # Example
+///
+/// ```
+/// use soc::{IpConfig, IpKind};
+/// let vd = IpConfig::default_for(IpKind::Vd);
+/// // A 4K NV12 frame (~12.4 MB) decodes in a handful of milliseconds.
+/// let t = vd.frame_compute_time(12_441_600);
+/// assert!(t.as_ms() > 1.5 && t.as_ms() < 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpConfig {
+    /// Which IP this parameterizes.
+    pub kind: IpKind,
+    /// Streaming compute rate over the larger of a frame's input/output
+    /// footprint, in bytes per second.
+    pub compute_bytes_per_sec: f64,
+    /// Fixed per-frame overhead (command decode, pipeline fill/drain).
+    pub per_frame_overhead: SimDelta,
+    /// Power while the IP's engine is computing, in milliwatts.
+    pub active_mw: f64,
+    /// Power while a frame is open but the engine is stalled (waiting on
+    /// memory, input data, or a downstream buffer), in milliwatts. The
+    /// pipeline is clock-gated but contexts and buffers stay powered, so
+    /// this is the energy that producer-side blocking burns — the energy
+    /// VIP's virtualization recovers.
+    pub stall_mw: f64,
+    /// Power while idle (fully clock-gated), in milliwatts.
+    pub idle_mw: f64,
+    /// Dynamic energy per byte processed, in picojoules.
+    pub dynamic_pj_per_byte: f64,
+}
+
+impl IpConfig {
+    /// Default parameters for each IP kind, sized so that the Table 3
+    /// workloads (4K video, 2560×1620 camera, 16 KB audio frames, 60 FPS)
+    /// are feasible on an uncontended platform with headroom comparable to
+    /// the paper's Fig 3 measurements.
+    pub fn default_for(kind: IpKind) -> Self {
+        // (rate GB/s, overhead us, active mW, idle mW, pJ/B)
+        let (gbps, ovh_us, active, idle, pj) = match kind {
+            IpKind::Vd => (5.0, 100, 140.0, 4.0, 16.0),
+            IpKind::Ve => (2.5, 120, 140.0, 4.0, 20.0),
+            IpKind::Gpu => (4.0, 150, 500.0, 15.0, 28.0),
+            IpKind::Dc => (4.0, 50, 60.0, 3.0, 8.0),
+            IpKind::Ad => (0.20, 10, 15.0, 1.0, 6.0),
+            IpKind::Ae => (0.15, 10, 18.0, 1.0, 7.0),
+            IpKind::Cam => (1.2, 50, 150.0, 5.0, 10.0),
+            IpKind::Mic => (0.05, 5, 4.0, 0.5, 4.0),
+            IpKind::Img => (2.0, 80, 110.0, 4.0, 12.0),
+            IpKind::Snd => (0.10, 5, 10.0, 0.5, 4.0),
+            IpKind::Nw => (0.08, 30, 90.0, 6.0, 30.0),
+            IpKind::Mmc => (0.25, 40, 50.0, 2.0, 15.0),
+        };
+        IpConfig {
+            kind,
+            compute_bytes_per_sec: gbps * 1e9,
+            per_frame_overhead: SimDelta::from_us(ovh_us),
+            active_mw: active,
+            stall_mw: active * 0.45,
+            idle_mw: idle,
+            dynamic_pj_per_byte: pj,
+        }
+    }
+
+    /// Pure compute time for a frame whose larger footprint (input or
+    /// output) is `bytes`, excluding all stalls.
+    pub fn frame_compute_time(&self, bytes: u64) -> SimDelta {
+        self.per_frame_overhead
+            + SimDelta::from_secs_f64(bytes as f64 / self.compute_bytes_per_sec)
+    }
+
+    /// Dynamic energy to process `bytes`, in joules.
+    pub fn dynamic_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.dynamic_pj_per_byte * 1e-12
+    }
+}
+
+/// Running activity statistics for one IP core.
+///
+/// `active` means the IP holds at least one open frame (computing or
+/// stalled); `compute` is the subset actually spent computing. Energy
+/// accrues at the compute power during compute time, the stall power for
+/// the rest of the open time, and the idle power otherwise; dynamic
+/// energy accrues per byte.
+///
+/// # Example
+///
+/// ```
+/// use desim::{SimDelta, SimTime};
+/// use soc::{IpConfig, IpKind, IpStats};
+/// let cfg = IpConfig::default_for(IpKind::Vd);
+/// let mut s = IpStats::new();
+/// s.set_active(SimTime::ZERO, true);
+/// s.add_compute(SimDelta::from_ms(4));
+/// s.set_active(SimTime::from_ms(5), false);
+/// assert!((s.utilization(SimTime::from_ms(5)) - 0.8).abs() < 1e-9);
+/// let _ = cfg;
+/// ```
+#[derive(Debug, Clone)]
+pub struct IpStats {
+    active_since: Option<SimTime>,
+    active_depth: u32,
+    /// Nanoseconds with at least one open frame.
+    pub active_ns: u64,
+    /// Nanoseconds of pure compute.
+    pub compute_ns: u64,
+    /// Bytes processed (larger-footprint basis).
+    pub bytes: u64,
+    /// Frames completed at this IP.
+    pub frames: u64,
+    /// Number of distinct busy periods (diagnostics).
+    pub busy_periods: u64,
+    /// Lane-to-lane context switches performed (VIP only).
+    pub context_switches: u64,
+}
+
+impl IpStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        IpStats {
+            active_since: None,
+            active_depth: 0,
+            active_ns: 0,
+            compute_ns: 0,
+            bytes: 0,
+            frames: 0,
+            busy_periods: 0,
+            context_switches: 0,
+        }
+    }
+
+    /// Marks the IP as holding (true) or releasing (false) one open frame.
+    /// Nested: the IP is *active* while any frame is open.
+    pub fn set_active(&mut self, now: SimTime, active: bool) {
+        if active {
+            if self.active_depth == 0 {
+                self.active_since = Some(now);
+                self.busy_periods += 1;
+            }
+            self.active_depth += 1;
+        } else {
+            debug_assert!(self.active_depth > 0, "release without hold");
+            self.active_depth -= 1;
+            if self.active_depth == 0 {
+                let since = self.active_since.take().expect("was active");
+                self.active_ns += now.since(since).as_ns();
+            }
+        }
+    }
+
+    /// Adds pure compute time.
+    pub fn add_compute(&mut self, d: SimDelta) {
+        self.compute_ns += d.as_ns();
+    }
+
+    /// Adds processed bytes.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Whether the IP currently holds an open frame.
+    pub fn is_active(&self) -> bool {
+        self.active_depth > 0
+    }
+
+    /// Active nanoseconds through `now`, including a still-open period.
+    pub fn active_ns_through(&self, now: SimTime) -> u64 {
+        let open = self
+            .active_since
+            .map(|s| now.since(s).as_ns())
+            .unwrap_or(0);
+        self.active_ns + open
+    }
+
+    /// Utilization = compute ÷ active over the run (Fig 3b's metric).
+    /// Zero if the IP was never active.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let active = self.active_ns_through(now);
+        if active == 0 {
+            0.0
+        } else {
+            self.compute_ns as f64 / active as f64
+        }
+    }
+
+    /// Total energy through `now`, in joules: compute time at active
+    /// power, open-but-stalled time at stall power, the rest at idle
+    /// power, plus dynamic energy per byte.
+    pub fn energy_j(&self, cfg: &IpConfig, now: SimTime) -> f64 {
+        let open_s = self.active_ns_through(now) as f64 / 1e9;
+        let compute_s = (self.compute_ns as f64 / 1e9).min(open_s);
+        let stall_s = open_s - compute_s;
+        let idle_s = (now.as_ns() as f64 / 1e9 - open_s).max(0.0);
+        cfg.active_mw * 1e-3 * compute_s
+            + cfg.stall_mw * 1e-3 * stall_s
+            + cfg.idle_mw * 1e-3 * idle_s
+            + cfg.dynamic_energy_j(self.bytes)
+    }
+}
+
+impl Default for IpStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_exist_for_every_kind() {
+        for &k in &IpKind::ALL {
+            let cfg = IpConfig::default_for(k);
+            assert!(cfg.compute_bytes_per_sec > 0.0, "{k}");
+            assert!(cfg.active_mw > cfg.idle_mw, "{k}");
+        }
+    }
+
+    #[test]
+    fn frame_compute_time_scales_with_bytes() {
+        let vd = IpConfig::default_for(IpKind::Vd);
+        let small = vd.frame_compute_time(1 << 20);
+        let large = vd.frame_compute_time(12 << 20);
+        assert!(large > small * 2);
+        // Overhead dominates tiny frames.
+        assert!(vd.frame_compute_time(1) >= vd.per_frame_overhead);
+    }
+
+    #[test]
+    fn utilization_is_compute_over_active() {
+        let mut s = IpStats::new();
+        s.set_active(SimTime::from_ms(1), true);
+        s.add_compute(SimDelta::from_ms(3));
+        s.set_active(SimTime::from_ms(7), false); // active 6ms, compute 3ms
+        assert!((s.utilization(SimTime::from_ms(10)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.busy_periods, 1);
+    }
+
+    #[test]
+    fn nested_activity_counts_once() {
+        let mut s = IpStats::new();
+        s.set_active(SimTime::from_ms(0), true);
+        s.set_active(SimTime::from_ms(1), true); // second open frame
+        s.set_active(SimTime::from_ms(2), false);
+        s.set_active(SimTime::from_ms(4), false);
+        assert_eq!(s.active_ns, 4_000_000);
+        assert_eq!(s.busy_periods, 1);
+    }
+
+    #[test]
+    fn open_period_counts_toward_now() {
+        let mut s = IpStats::new();
+        s.set_active(SimTime::from_ms(2), true);
+        assert_eq!(s.active_ns_through(SimTime::from_ms(5)), 3_000_000);
+        assert!(s.is_active());
+    }
+
+    #[test]
+    fn energy_splits_static_and_dynamic() {
+        let cfg = IpConfig::default_for(IpKind::Dc);
+        let mut s = IpStats::new();
+        s.set_active(SimTime::ZERO, true);
+        s.add_compute(SimDelta::from_ms(500)); // fully computing while open
+        s.set_active(SimTime::from_ms(500), false);
+        s.add_bytes(1_000_000_000);
+        let e = s.energy_j(&cfg, SimTime::from_secs(1));
+        // 60mW×0.5s + 3mW×0.5s + 8pJ/B×1GB = 0.030 + 0.0015 + 0.008
+        assert!((e - 0.0395).abs() < 1e-6, "{e}");
+    }
+
+    #[test]
+    fn stalled_time_costs_less_than_compute() {
+        let cfg = IpConfig::default_for(IpKind::Vd);
+        let mut busy = IpStats::new();
+        busy.set_active(SimTime::ZERO, true);
+        busy.add_compute(SimDelta::from_ms(100));
+        busy.set_active(SimTime::from_ms(100), false);
+        let mut stalled = IpStats::new();
+        stalled.set_active(SimTime::ZERO, true);
+        stalled.set_active(SimTime::from_ms(100), false); // open, no compute
+        let now = SimTime::from_ms(100);
+        assert!(stalled.energy_j(&cfg, now) < busy.energy_j(&cfg, now));
+        assert!(stalled.energy_j(&cfg, now) > 0.0);
+    }
+
+    #[test]
+    fn utilization_zero_when_never_active() {
+        let s = IpStats::new();
+        assert_eq!(s.utilization(SimTime::from_secs(1)), 0.0);
+    }
+}

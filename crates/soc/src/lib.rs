@@ -1,0 +1,35 @@
+//! # soc — component models of a handheld SoC
+//!
+//! The VIP paper's platform (its Table 3) is a mobile SoC: four in-order
+//! ARM cores, a dozen accelerator IP cores (video decoder/encoder, GPU,
+//! display controller, audio codecs, camera pipeline, network, storage),
+//! a System Agent interconnect, and LPDDR3 memory (modeled by the
+//! [`dram`] crate). This crate provides the *component* models; the
+//! full-system orchestration — chaining, bursts, virtualization — lives in
+//! `vip-core`.
+//!
+//! * [`ids`] — the IP-core taxonomy ([`IpKind`]) and id newtypes,
+//! * [`ip`] — per-IP throughput/overhead/power parameters and activity
+//!   statistics (utilization = compute ÷ active, the metric of Fig 3b),
+//! * [`cpu`] — an in-order core with a task queue, interrupt costs,
+//!   instruction counting, and multi-level sleep states with retrospective
+//!   ("oracle") idle-state selection,
+//! * [`agent`] — the System Agent: the centralized interconnect that
+//!   carries IP-to-IP flow data and flow-control flags (paper §5.5),
+//! * [`buffer`] — per-lane flow buffers with reserve/commit/consume credit
+//!   flow control ("stall the sender", paper §5.5),
+//! * [`power`] — the energy breakdown rolled up by every experiment.
+
+pub mod agent;
+pub mod buffer;
+pub mod cpu;
+pub mod ids;
+pub mod ip;
+pub mod power;
+
+pub use agent::{AgentConfig, SystemAgent};
+pub use buffer::LaneBuffer;
+pub use cpu::{CpuConfig, CpuCore, SleepState, Task};
+pub use ids::{CpuId, FlowId, IpKind, LaneId};
+pub use ip::{IpConfig, IpStats};
+pub use power::EnergyBreakdown;

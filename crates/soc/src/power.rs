@@ -1,0 +1,131 @@
+//! System-level energy breakdown.
+//!
+//! Every experiment rolls component energies into this structure; the
+//! normalized-energy-per-frame metric of the paper's Fig 15 is
+//! `total() / frames` ratioed against the baseline scheme.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Energy by component, in joules.
+///
+/// # Example
+///
+/// ```
+/// use soc::EnergyBreakdown;
+/// let mut e = EnergyBreakdown::default();
+/// e.cpu_j = 0.5;
+/// e.dram_j = 0.3;
+/// assert!((e.total_j() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// CPU cores (active + idle + sleep).
+    pub cpu_j: f64,
+    /// DRAM (activate + dynamic + background).
+    pub dram_j: f64,
+    /// All IP cores (static + dynamic).
+    pub ip_j: f64,
+    /// System Agent switching.
+    pub sa_j: f64,
+    /// IP flow buffers (SRAM reads/writes + leakage).
+    pub buffer_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum over all components.
+    pub fn total_j(&self) -> f64 {
+        self.cpu_j + self.dram_j + self.ip_j + self.sa_j + self.buffer_j
+    }
+
+    /// Each component's share of the total; zeroes if the total is zero.
+    pub fn shares(&self) -> [f64; 5] {
+        let t = self.total_j();
+        if t <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.cpu_j / t,
+            self.dram_j / t,
+            self.ip_j / t,
+            self.sa_j / t,
+            self.buffer_j / t,
+        ]
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            cpu_j: self.cpu_j + rhs.cpu_j,
+            dram_j: self.dram_j + rhs.dram_j,
+            ip_j: self.ip_j + rhs.ip_j,
+            sa_j: self.sa_j + rhs.sa_j,
+            buffer_j: self.buffer_j + rhs.buffer_j,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu {:.1} mJ, dram {:.1} mJ, ip {:.1} mJ, sa {:.1} mJ, buf {:.2} mJ (total {:.1} mJ)",
+            self.cpu_j * 1e3,
+            self.dram_j * 1e3,
+            self.ip_j * 1e3,
+            self.sa_j * 1e3,
+            self.buffer_j * 1e3,
+            self.total_j() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_shares() {
+        let e = EnergyBreakdown {
+            cpu_j: 1.0,
+            dram_j: 2.0,
+            ip_j: 1.0,
+            sa_j: 0.0,
+            buffer_j: 0.0,
+        };
+        assert_eq!(e.total_j(), 4.0);
+        assert_eq!(e.shares()[1], 0.5);
+        assert_eq!(EnergyBreakdown::default().shares(), [0.0; 5]);
+    }
+
+    #[test]
+    fn addition() {
+        let a = EnergyBreakdown {
+            cpu_j: 1.0,
+            ..Default::default()
+        };
+        let mut b = EnergyBreakdown {
+            dram_j: 2.0,
+            ..Default::default()
+        };
+        b += a;
+        assert_eq!(b.cpu_j, 1.0);
+        assert_eq!(b.total_j(), 3.0);
+    }
+
+    #[test]
+    fn display_has_all_components() {
+        let s = EnergyBreakdown::default().to_string();
+        for key in ["cpu", "dram", "ip", "sa", "buf", "total"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Applications A1–A7 with the IP flows of the paper's Table 1.
+//!
+//! | App | Name | IP flows |
+//! |-----|------|----------|
+//! | A1 | Game-1 | GPU–DC; AD–SND |
+//! | A2 | AR-Game | GPU–DC; CPU–VE–NW; AD–SND; MIC–AE–NW |
+//! | A3 | Audio-Play | CPU–AD–SND; CPU–DC |
+//! | A4 | Skype | CPU–VD–DC; CAM–VE–NW; AD–SND; MIC–AE–NW |
+//! | A5 | Video Player | CPU–VD–DC; AD–SND |
+//! | A6 | Video Record | CAM–IMG–DC; CAM–VE–MMC; MIC–AE–MMC |
+//! | A7 | YouTube | CPU–VD–DC; AD–SND |
+//!
+//! Frame geometry follows Table 3 (4K video, 2560×1620 camera, 16 KB
+//! audio frames); interactive apps carry a touch-trace burst gate (§4.3).
+
+use desim::SimDelta;
+use soc::IpKind;
+use vip_core::FlowSpec;
+
+use crate::geometry::{Resolution, AUDIO_BITSTREAM_BYTES, AUDIO_FPS, AUDIO_FRAME_BYTES};
+use crate::gop::GopSpec;
+use crate::touch::TouchTrace;
+
+/// The seven applications of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Game-1: a tap-based game (Flappy Bird-class).
+    A1,
+    /// AR-Game: a flick-based game streaming its view (Fruit Ninja-class).
+    A2,
+    /// Audio playback with a mostly static UI.
+    A3,
+    /// Skype video call.
+    A4,
+    /// Local video playback.
+    A5,
+    /// Camera recording with live preview.
+    A6,
+    /// Streaming video playback.
+    A7,
+}
+
+/// One application instance: a named bundle of concurrent flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Which Table 1 application this is.
+    pub app: App,
+    /// Name of this instance (unique within a workload).
+    pub name: String,
+    /// The concurrent flows of Table 1.
+    pub flows: Vec<FlowSpec>,
+}
+
+impl App {
+    /// All seven, in Table 1 order.
+    pub const ALL: [App; 7] = [
+        App::A1,
+        App::A2,
+        App::A3,
+        App::A4,
+        App::A5,
+        App::A6,
+        App::A7,
+    ];
+
+    /// The paper's identifier ("A1".."A7").
+    pub fn id(self) -> &'static str {
+        match self {
+            App::A1 => "A1",
+            App::A2 => "A2",
+            App::A3 => "A3",
+            App::A4 => "A4",
+            App::A5 => "A5",
+            App::A6 => "A6",
+            App::A7 => "A7",
+        }
+    }
+
+    /// The paper's application name.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::A1 => "Game-1",
+            App::A2 => "AR-Game",
+            App::A3 => "Audio-Play",
+            App::A4 => "Skype",
+            App::A5 => "Video Player",
+            App::A6 => "Video Record",
+            App::A7 => "YouTube",
+        }
+    }
+
+    /// The Table 1 IP flows, as chains of IP kinds.
+    pub fn chains(self) -> Vec<Vec<IpKind>> {
+        use IpKind::*;
+        match self {
+            App::A1 => vec![vec![Gpu, Dc], vec![Ad, Snd]],
+            App::A2 => vec![
+                vec![Gpu, Dc],
+                vec![Ve, Nw],
+                vec![Ad, Snd],
+                vec![Mic, Ae, Nw],
+            ],
+            App::A3 => vec![vec![Ad, Snd], vec![Dc]],
+            App::A4 => vec![
+                vec![Vd, Dc],
+                vec![Cam, Ve, Nw],
+                vec![Ad, Snd],
+                vec![Mic, Ae, Nw],
+            ],
+            App::A5 => vec![vec![Vd, Dc], vec![Ad, Snd]],
+            App::A6 => vec![
+                vec![Cam, Img, Dc],
+                vec![Cam, Ve, Mmc],
+                vec![Mic, Ae, Mmc],
+            ],
+            App::A7 => vec![vec![Vd, Dc], vec![Ad, Snd]],
+        }
+    }
+
+    /// Builds the app's flows with default geometry. `seed` feeds the
+    /// touch traces of interactive apps; `instance` keeps names unique
+    /// when a workload runs several copies.
+    pub fn spec(self, seed: u64, instance: usize) -> AppSpec {
+        let tag = |flow: &str| format!("{}-{}.{}", self.id(), instance, flow);
+        let flows = match self {
+            App::A1 => vec![
+                game_flow(&tag("game"), Resolution::FHD_1080, trace_flappy(seed)),
+                audio_play_flow(&tag("audio")),
+            ],
+            App::A2 => vec![
+                game_flow(&tag("game"), Resolution::FHD_1080, trace_ninja(seed)),
+                view_encode_flow(&tag("upload"), Resolution::FHD_1080),
+                audio_play_flow(&tag("audio")),
+                mic_encode_flow(&tag("mic"), IpKind::Nw),
+            ],
+            App::A3 => vec![audio_play_flow(&tag("audio")), ui_flow(&tag("ui"))],
+            App::A4 => vec![
+                video_play_flow(&tag("video"), Resolution::HD_720, 30.0),
+                camera_encode_flow(&tag("cam"), IpKind::Nw),
+                audio_play_flow(&tag("audio")),
+                mic_encode_flow(&tag("mic"), IpKind::Nw),
+            ],
+            App::A5 => vec![
+                video_play_flow(&tag("video"), Resolution::UHD_4K, 60.0),
+                audio_play_flow(&tag("audio")),
+            ],
+            App::A6 => vec![
+                camera_preview_flow(&tag("preview")),
+                camera_encode_flow(&tag("rec"), IpKind::Mmc),
+                mic_encode_flow(&tag("mic"), IpKind::Mmc),
+            ],
+            App::A7 => vec![
+                video_play_flow(&tag("video"), Resolution::FHD_1080, 30.0),
+                audio_play_flow(&tag("audio")),
+            ],
+        };
+        AppSpec {
+            app: self,
+            name: format!("{}-{}", self.id(), instance),
+            flows,
+        }
+    }
+}
+
+fn trace_flappy(seed: u64) -> TouchTrace {
+    TouchTrace::flappy_bird(seed, SimDelta::from_secs(120))
+}
+
+fn trace_ninja(seed: u64) -> TouchTrace {
+    TouchTrace::fruit_ninja(seed, SimDelta::from_secs(120))
+}
+
+/// `CPU – VD – DC` video playback at a resolution and rate. The decoder
+/// additionally reads one reference frame from DRAM per decoded frame
+/// (motion compensation) in every scheme.
+pub fn video_play_flow(name: &str, res: Resolution, fps: f64) -> FlowSpec {
+    let mbps = res.pixels() as f64 / Resolution::FHD_1080.pixels() as f64 * 8.0;
+    // A 12-frame GOP: one large independent frame, then predicted frames
+    // (paper §4.3: GOP size < 20; bursts are sized to fit within it).
+    let gop = GopSpec::fixed(12);
+    let pattern: Vec<f64> = gop
+        .frame_types(gop.size as usize, 0)
+        .into_iter()
+        .map(GopSpec::size_factor)
+        .collect();
+    FlowSpec::builder(name)
+        .fps(fps)
+        .cpu_source(res.bitstream_bytes(mbps, fps).max(1), 400_000, 480_000)
+        .stage_with_side_read(IpKind::Vd, res.nv12_bytes(), res.nv12_bytes())
+        .stage(IpKind::Dc, 0)
+        .src_size_pattern(pattern)
+        .burst_cap(gop.recommend_burst(u32::MAX))
+        .build()
+}
+
+/// `CPU – AD – SND` audio playback.
+pub fn audio_play_flow(name: &str) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(AUDIO_FPS)
+        .cpu_source(AUDIO_BITSTREAM_BYTES, 100_000, 120_000)
+        .stage(IpKind::Ad, AUDIO_FRAME_BYTES)
+        .stage(IpKind::Snd, 0)
+        .build()
+}
+
+/// `CPU – GPU – DC` game rendering, burst-gated by a touch trace.
+pub fn game_flow(name: &str, res: Resolution, trace: TouchTrace) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(60.0)
+        .cpu_source(1_000_000, 1_200_000, 1_440_000) // game logic per frame
+        .stage_with_side_read(IpKind::Gpu, res.rgba_bytes(), 4_000_000) // textures
+        .stage(IpKind::Dc, 0)
+        .gate(trace.gate())
+        .build()
+}
+
+/// `CPU – DC` low-rate UI composition (album art, controls).
+pub fn ui_flow(name: &str) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(15.0)
+        .cpu_source(Resolution::FHD_1080.nv12_bytes(), 300_000, 360_000)
+        .stage(IpKind::Dc, 0)
+        .build()
+}
+
+/// `CAM – VE – {NW|MMC}` live camera encode (call upload or recording).
+pub fn camera_encode_flow(name: &str, sink: IpKind) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(30.0)
+        .sensor_source()
+        .stage(IpKind::Cam, Resolution::CAMERA.nv12_bytes())
+        .stage_with_side_read(IpKind::Ve, 70_000, Resolution::CAMERA.nv12_bytes())
+        .stage(sink, 0)
+        .deadline_periods(8.0)
+        .build()
+}
+
+/// `CAM – IMG – DC` live camera preview.
+pub fn camera_preview_flow(name: &str) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(30.0)
+        .sensor_source()
+        .stage(IpKind::Cam, Resolution::CAMERA.nv12_bytes())
+        .stage(IpKind::Img, Resolution::CAMERA.nv12_bytes())
+        .stage(IpKind::Dc, 0)
+        .deadline_periods(8.0)
+        .build()
+}
+
+/// `CPU – VE – NW` screen-view encode/upload (the AR game's stream).
+pub fn view_encode_flow(name: &str, res: Resolution) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(30.0)
+        .cpu_source(res.nv12_bytes(), 200_000, 240_000)
+        .stage_with_side_read(IpKind::Ve, 60_000, res.nv12_bytes())
+        .stage(IpKind::Nw, 0)
+        .deadline_periods(8.0)
+        .build()
+}
+
+/// `MIC – AE – {NW|MMC}` microphone capture + encode.
+pub fn mic_encode_flow(name: &str, sink: IpKind) -> FlowSpec {
+    FlowSpec::builder(name)
+        .fps(AUDIO_FPS)
+        .sensor_source()
+        .stage(IpKind::Mic, AUDIO_FRAME_BYTES)
+        .stage(IpKind::Ae, AUDIO_BITSTREAM_BYTES)
+        .stage(sink, 0)
+        .deadline_periods(8.0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_core::SourceKind;
+
+    #[test]
+    fn every_app_builds_and_matches_table1() {
+        for &app in &App::ALL {
+            let spec = app.spec(7, 0);
+            let chains = app.chains();
+            assert_eq!(spec.flows.len(), chains.len(), "{}", app.id());
+            for (flow, chain) in spec.flows.iter().zip(&chains) {
+                let flow_ips: Vec<IpKind> = flow.stages.iter().map(|s| s.ip).collect();
+                // Table 1 lists flows from the data producer; CPU-origin
+                // stages are implicit in our model (the CPU is not an IP).
+                assert_eq!(&flow_ips, chain, "{} flow {}", app.id(), flow.name);
+                flow.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn skype_has_four_flows_over_seven_ips() {
+        let s = App::A4.spec(1, 0);
+        assert_eq!(s.flows.len(), 4);
+        let sensors = s
+            .flows
+            .iter()
+            .filter(|f| matches!(f.source, SourceKind::Sensor))
+            .count();
+        assert_eq!(sensors, 2, "camera and microphone");
+    }
+
+    #[test]
+    fn games_are_burst_gated() {
+        let g = App::A1.spec(3, 0);
+        let game = &g.flows[0];
+        assert!(
+            !matches!(game.gate, vip_core::BurstGate::Open),
+            "game flow must carry a touch gate"
+        );
+        // Audio flow is not gated.
+        assert!(matches!(g.flows[1].gate, vip_core::BurstGate::Open));
+    }
+
+    #[test]
+    fn instances_get_unique_names() {
+        let a = App::A5.spec(1, 0);
+        let b = App::A5.spec(1, 1);
+        assert_ne!(a.name, b.name);
+        assert_ne!(a.flows[0].name, b.flows[0].name);
+    }
+
+    #[test]
+    fn video_geometry_scales_with_resolution() {
+        let hd = video_play_flow("hd", Resolution::FHD_1080, 60.0);
+        let uhd = video_play_flow("uhd", Resolution::UHD_4K, 60.0);
+        assert!(uhd.stages[0].out_bytes > 3 * hd.stages[0].out_bytes);
+        assert!(uhd.src_bytes > hd.src_bytes);
+    }
+
+    #[test]
+    fn video_flows_carry_a_gop_pattern() {
+        let v = video_play_flow("v", Resolution::UHD_4K, 60.0);
+        assert_eq!(v.src_size_pattern.len(), 12);
+        assert!(v.src_size_pattern[0] > v.src_size_pattern[1], "I bigger than P");
+        assert_eq!(v.burst_cap, Some(12));
+        // The I frame is genuinely larger in bytes.
+        assert!(v.src_bytes_for(0) > 3 * v.src_bytes_for(1));
+    }
+
+    #[test]
+    fn record_flows_are_latency_tolerant() {
+        let rec = camera_encode_flow("r", IpKind::Mmc);
+        assert!(rec.deadline_periods > 4.0);
+        let play = video_play_flow("p", Resolution::FHD_1080, 60.0);
+        assert_eq!(play.deadline_periods, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Group-of-pictures structure.
+//!
+//! Paper §4.3: every independent (I) frame is followed by predicted (P)
+//! frames; the I-to-I distance (the GOP size) is typically under 20
+//! frames, and playback/encode frame bursts are sized to fit within a
+//! GOP, because a burst that spans an I-frame boundary would carry the
+//! large context switch of a new reference frame.
+
+use desim::SplitMix64;
+
+/// Frame type within a GOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Independent (intra-coded) frame.
+    I,
+    /// Predicted frame.
+    P,
+}
+
+/// A group-of-pictures description.
+///
+/// # Example
+///
+/// ```
+/// use workloads::GopSpec;
+/// let gop = GopSpec::fixed(12);
+/// assert_eq!(gop.recommend_burst(5), 5);
+/// assert_eq!(GopSpec::fixed(3).recommend_burst(5), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GopSpec {
+    /// Frames per GOP (I-frame period).
+    pub size: u32,
+    /// Whether playback streams vary GOP size (paper: "some videos have
+    /// variable GOP sizes").
+    pub variable: bool,
+}
+
+impl GopSpec {
+    /// A fixed-size GOP (encoding apps choose this; paper §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn fixed(size: u32) -> Self {
+        assert!(size > 0, "zero GOP");
+        GopSpec {
+            size,
+            variable: false,
+        }
+    }
+
+    /// A variable-size GOP around a nominal size (playback streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn variable(size: u32) -> Self {
+        assert!(size > 0, "zero GOP");
+        GopSpec {
+            size,
+            variable: true,
+        }
+    }
+
+    /// The largest burst not crossing an I-frame boundary, capped at the
+    /// platform's configured burst size.
+    pub fn recommend_burst(&self, cap: u32) -> u32 {
+        self.size.min(cap).max(1)
+    }
+
+    /// Generates `n` frame types with per-GOP size jitter for variable
+    /// streams (deterministic per seed).
+    pub fn frame_types(&self, n: usize, seed: u64) -> Vec<FrameType> {
+        let mut rng = SplitMix64::new(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut left = 0u32;
+        while out.len() < n {
+            if left == 0 {
+                out.push(FrameType::I);
+                left = if self.variable {
+                    // ±33% jitter, at least 2.
+                    let lo = (self.size * 2 / 3).max(2);
+                    let hi = self.size + self.size / 3 + 1;
+                    rng.range(lo as u64, hi as u64) as u32
+                } else {
+                    self.size
+                };
+                left -= 1; // the I frame itself
+            } else {
+                out.push(FrameType::P);
+                left -= 1;
+            }
+        }
+        out
+    }
+
+    /// Relative size of a frame type (I frames are several times larger
+    /// than P frames in the bitstream).
+    pub fn size_factor(ty: FrameType) -> f64 {
+        match ty {
+            FrameType::I => 4.0,
+            FrameType::P => 0.7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_gop_is_periodic() {
+        let types = GopSpec::fixed(5).frame_types(20, 1);
+        for (i, t) in types.iter().enumerate() {
+            let expect = if i % 5 == 0 { FrameType::I } else { FrameType::P };
+            assert_eq!(*t, expect, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn variable_gop_stays_in_bounds() {
+        let types = GopSpec::variable(12).frame_types(600, 7);
+        let mut gaps = Vec::new();
+        let mut last_i = None;
+        for (i, t) in types.iter().enumerate() {
+            if *t == FrameType::I {
+                if let Some(l) = last_i {
+                    gaps.push(i - l);
+                }
+                last_i = Some(i);
+            }
+        }
+        assert!(!gaps.is_empty());
+        // Paper: GOP size < 20 to keep quality high.
+        assert!(gaps.iter().all(|&g| (2..20).contains(&g)), "{gaps:?}");
+        // Variable: not all gaps equal.
+        assert!(gaps.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn burst_respects_gop() {
+        assert_eq!(GopSpec::fixed(20).recommend_burst(5), 5);
+        assert_eq!(GopSpec::fixed(4).recommend_burst(5), 4);
+        assert_eq!(GopSpec::fixed(1).recommend_burst(5), 1);
+    }
+
+    #[test]
+    fn i_frames_are_bigger() {
+        assert!(GopSpec::size_factor(FrameType::I) > GopSpec::size_factor(FrameType::P));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = GopSpec::variable(12).frame_types(100, 42);
+        let b = GopSpec::variable(12).frame_types(100, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! # workloads — the paper's applications, workloads, and user traces
+//!
+//! The VIP evaluation (paper §6.1) runs seven frame-based applications
+//! (Table 1) alone and in eight two-or-more-application combinations
+//! (Table 2) on the Table 3 platform. This crate reproduces that workload
+//! suite:
+//!
+//! * [`geometry`] — frame footprints (4K/1080p/720p NV12 video, RGBA
+//!   render targets, the 2560×1620 camera, 16 KB audio frames),
+//! * [`apps`] — applications A1–A7 with their exact Table 1 IP flows,
+//! * [`suite`] — workloads W1–W8 of Table 2,
+//! * [`gop`] — the group-of-pictures structure that bounds playback burst
+//!   sizes (§4.3),
+//! * [`touch`] — stochastic Flappy Bird tap and Fruit Ninja flick traces
+//!   fitted to the published distributions (Figs 5–6), and the burst
+//!   gating they induce.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{App, Workload};
+//! use vip_core::{Scheme, SystemConfig, SystemSim};
+//!
+//! let w1 = Workload::W1.spec(0xC0FFEE);     // two concurrent video players
+//! let mut cfg = SystemConfig::table3(Scheme::Vip);
+//! cfg.duration = desim::SimDelta::from_ms(150);
+//! let report = SystemSim::run(cfg, w1.flows());
+//! assert!(report.frames_completed > 0);
+//! let _ = App::A5.spec(0, 1); // a single app is available too
+//! ```
+
+pub mod apps;
+pub mod geometry;
+pub mod gop;
+pub mod specfile;
+pub mod suite;
+pub mod touch;
+
+pub use apps::{App, AppSpec};
+pub use geometry::Resolution;
+pub use gop::GopSpec;
+pub use specfile::{parse as parse_specfile, render as render_specfile};
+pub use suite::{Workload, WorkloadSpec};
+pub use touch::TouchTrace;

@@ -1,0 +1,359 @@
+//! A plain-text workload format, so scenarios can be defined, shared and
+//! replayed without writing Rust. One flow per `flow` line, followed by
+//! its `stage` lines; `#` starts a comment.
+//!
+//! ```text
+//! # a 4K player next to a camera recording
+//! flow video fps=60 src=62500 prep_us=400 deadline=1
+//! stage VD out=12441600 side=12441600
+//! stage DC out=0
+//!
+//! flow record fps=30 sensor deadline=8
+//! stage CAM out=6220800
+//! stage VE out=70000 side=6220800
+//! stage MMC out=0
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::specfile;
+//! let flows = specfile::parse(
+//!     "flow v fps=30 src=1000 prep_us=100 deadline=1\nstage VD out=5000\nstage DC out=0\n",
+//! )?;
+//! assert_eq!(flows.len(), 1);
+//! assert_eq!(flows[0].stages.len(), 2);
+//! # Ok::<(), workloads::specfile::ParseError>(())
+//! ```
+
+use std::fmt;
+
+use soc::IpKind;
+use vip_core::{FlowSpec, FlowSpecBuilder};
+
+/// Error from [`parse`], with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn ip_by_abbrev(s: &str) -> Option<IpKind> {
+    IpKind::ALL.iter().copied().find(|k| k.abbrev() == s)
+}
+
+fn kv(tok: &str) -> Option<(&str, &str)> {
+    tok.split_once('=')
+}
+
+struct PendingFlow {
+    line: usize,
+    builder: FlowSpecBuilder,
+    stages: usize,
+}
+
+impl PendingFlow {
+    fn finish(self) -> Result<FlowSpec, ParseError> {
+        if self.stages == 0 {
+            return Err(err(self.line, "flow has no stages"));
+        }
+        // Build without panicking.
+        let b = self.builder;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.build()))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "invalid flow".into());
+                err(self.line, msg)
+            })
+    }
+}
+
+/// Parses a workload file into flows ready for
+/// [`vip_core::SystemSim::run`].
+///
+/// # Errors
+///
+/// Returns the first syntactic or semantic error with its line number.
+pub fn parse(text: &str) -> Result<Vec<FlowSpec>, ParseError> {
+    let mut flows: Vec<FlowSpec> = Vec::new();
+    let mut pending: Option<PendingFlow> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("flow") => {
+                if let Some(p) = pending.take() {
+                    flows.push(p.finish()?);
+                }
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "flow needs a name"))?;
+                let mut builder = FlowSpec::builder(name);
+                let mut src: Option<u64> = None;
+                let mut prep_us: u64 = 200;
+                let mut sensor = false;
+                for tok in toks {
+                    if tok == "sensor" {
+                        sensor = true;
+                        continue;
+                    }
+                    let (k, v) = kv(tok)
+                        .ok_or_else(|| err(lineno, format!("expected key=value, got '{tok}'")))?;
+                    match k {
+                        "fps" => {
+                            let fps: f64 = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad fps '{v}'")))?;
+                            builder = builder.fps(fps);
+                        }
+                        "src" => {
+                            src = Some(
+                                v.parse()
+                                    .map_err(|_| err(lineno, format!("bad src '{v}'")))?,
+                            )
+                        }
+                        "prep_us" => {
+                            prep_us = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad prep_us '{v}'")))?
+                        }
+                        "deadline" => {
+                            let d: f64 = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad deadline '{v}'")))?;
+                            builder = builder.deadline_periods(d);
+                        }
+                        "burst_cap" => {
+                            let c: u32 = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad burst_cap '{v}'")))?;
+                            builder = builder.burst_cap(c);
+                        }
+                        other => {
+                            return Err(err(lineno, format!("unknown flow key '{other}'")))
+                        }
+                    }
+                }
+                builder = if sensor {
+                    builder.sensor_source()
+                } else {
+                    let src = src.ok_or_else(|| {
+                        err(lineno, "non-sensor flow needs src=<bytes> (or mark it 'sensor')")
+                    })?;
+                    builder.cpu_source(src, prep_us * 1000, prep_us * 1200)
+                };
+                pending = Some(PendingFlow {
+                    line: lineno,
+                    builder,
+                    stages: 0,
+                });
+            }
+            Some("stage") => {
+                let p = pending
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "stage before any flow"))?;
+                let ip_tok = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "stage needs an IP abbreviation"))?;
+                let ip = ip_by_abbrev(ip_tok)
+                    .ok_or_else(|| err(lineno, format!("unknown IP '{ip_tok}'")))?;
+                let mut out: Option<u64> = None;
+                let mut side: u64 = 0;
+                for tok in toks {
+                    let (k, v) = kv(tok)
+                        .ok_or_else(|| err(lineno, format!("expected key=value, got '{tok}'")))?;
+                    match k {
+                        "out" => {
+                            out = Some(
+                                v.parse()
+                                    .map_err(|_| err(lineno, format!("bad out '{v}'")))?,
+                            )
+                        }
+                        "side" => {
+                            side = v
+                                .parse()
+                                .map_err(|_| err(lineno, format!("bad side '{v}'")))?
+                        }
+                        other => {
+                            return Err(err(lineno, format!("unknown stage key '{other}'")))
+                        }
+                    }
+                }
+                let out = out.ok_or_else(|| err(lineno, "stage needs out=<bytes>"))?;
+                let builder = std::mem::replace(&mut p.builder, FlowSpec::builder("tmp"));
+                p.builder = if side > 0 {
+                    builder.stage_with_side_read(ip, out, side)
+                } else {
+                    builder.stage(ip, out)
+                };
+                p.stages += 1;
+            }
+            Some(other) => {
+                return Err(err(
+                    lineno,
+                    format!("expected 'flow' or 'stage', got '{other}'"),
+                ))
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    if let Some(p) = pending.take() {
+        flows.push(p.finish()?);
+    }
+    if flows.is_empty() {
+        return Err(err(0, "no flows in file"));
+    }
+    Ok(flows)
+}
+
+/// Renders flows back into the text format (round-trips through
+/// [`parse`], modulo prep-time defaults and GOP patterns).
+pub fn render(flows: &[FlowSpec]) -> String {
+    use vip_core::SourceKind;
+    let mut out = String::new();
+    for f in flows {
+        out.push_str(&format!("flow {} fps={}", f.name, f.fps));
+        match f.source {
+            SourceKind::Sensor => out.push_str(" sensor"),
+            SourceKind::Cpu { prep_ns, .. } => {
+                out.push_str(&format!(" src={} prep_us={}", f.src_bytes, prep_ns / 1000))
+            }
+        }
+        out.push_str(&format!(" deadline={}", f.deadline_periods));
+        if let Some(c) = f.burst_cap {
+            out.push_str(&format!(" burst_cap={c}"));
+        }
+        out.push('\n');
+        for (i, s) in f.stages.iter().enumerate() {
+            out.push_str(&format!("stage {} out={}", s.ip.abbrev(), s.out_bytes));
+            if s.side_read_bytes > 0 {
+                out.push_str(&format!(" side={}", s.side_read_bytes));
+            }
+            out.push('\n');
+            let _ = i;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{camera_encode_flow, video_play_flow};
+    use crate::geometry::Resolution;
+
+    const SAMPLE: &str = "\
+# two flows
+flow video fps=60 src=62500 prep_us=400 deadline=1
+stage VD out=12441600 side=12441600
+stage DC out=0
+
+flow record fps=30 sensor deadline=8
+stage CAM out=6220800
+stage VE out=70000 side=6220800
+stage MMC out=0
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let flows = parse(SAMPLE).unwrap();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(flows[0].name, "video");
+        assert_eq!(flows[0].stages.len(), 2);
+        assert_eq!(flows[0].stages[0].side_read_bytes, 12_441_600);
+        assert_eq!(flows[1].deadline_periods, 8.0);
+        assert!(matches!(flows[1].source, vip_core::SourceKind::Sensor));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("flow v fps=60 src=1\nstage XX out=5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown IP"), "{e}");
+
+        let e = parse("stage VD out=5\n").unwrap_err();
+        assert!(e.message.contains("before any flow"));
+
+        let e = parse("flow v fps=60\nstage VD out=5\n").unwrap_err();
+        assert!(e.message.contains("needs src"), "{e}");
+
+        let e = parse("flow v fps=60 src=9 bogus=1\n").unwrap_err();
+        assert!(e.message.contains("unknown flow key"), "{e}");
+
+        assert!(parse("").is_err(), "empty file");
+    }
+
+    #[test]
+    fn flow_without_stages_rejected() {
+        let e = parse("flow v fps=60 src=9\n").unwrap_err();
+        assert!(e.message.contains("no stages"), "{e}");
+    }
+
+    #[test]
+    fn invalid_semantics_surface_as_errors() {
+        // Chain revisiting an IP is a FlowSpec::validate failure.
+        let e = parse("flow v fps=60 src=9\nstage VD out=5\nstage VD out=5\n").unwrap_err();
+        assert!(e.message.contains("appears twice"), "{e}");
+    }
+
+    #[test]
+    fn library_flows_round_trip() {
+        let flows = vec![
+            video_play_flow("vid", Resolution::FHD_1080, 60.0),
+            camera_encode_flow("rec", soc::IpKind::Mmc),
+        ];
+        let text = render(&flows);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), flows.len());
+        for (a, b) in back.iter().zip(&flows) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fps, b.fps);
+            assert_eq!(a.src_bytes, b.src_bytes);
+            assert_eq!(a.deadline_periods, b.deadline_periods);
+            assert_eq!(
+                a.stages.iter().map(|s| s.ip).collect::<Vec<_>>(),
+                b.stages.iter().map(|s| s.ip).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                a.stages.iter().map(|s| s.out_bytes).collect::<Vec<_>>(),
+                b.stages.iter().map(|s| s.out_bytes).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_flows_actually_run() {
+        use desim::SimDelta;
+        use vip_core::{Scheme, SystemConfig, SystemSim};
+        let flows = parse(SAMPLE).unwrap();
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.duration = SimDelta::from_ms(200);
+        let rep = SystemSim::run(cfg, flows);
+        assert!(rep.frames_completed > 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Workloads W1–W8: the multi-application combinations of Table 2.
+//!
+//! | Wkld | Combination | Use-case |
+//! |------|-------------|----------|
+//! | W1 | 2× Video-Play | concurrent playback from disk |
+//! | W2 | 1 HD(4K)-Video + 2 Video-Play | concurrent multiple playback |
+//! | W3 | Video-Play + YouTube | streamed + local video |
+//! | W4 | Skype + Video-Play | watching video while teleconferencing |
+//! | W5 | Game-1 + Skype | online multi-player gaming |
+//! | W6 | AR-Game + Audio-Play | music while gaming |
+//! | W7 | Video-Play + Video-Record | recording while playing |
+//! | W8 | Video-Play + AR-Game | multiplayer gaming with streaming |
+
+use vip_core::FlowSpec;
+
+use crate::apps::{video_play_flow, App, AppSpec};
+use crate::geometry::Resolution;
+
+/// The eight Table 2 workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 2× Video-Play.
+    W1,
+    /// 1 4K video + 2 videos.
+    W2,
+    /// Video-Play + YouTube.
+    W3,
+    /// Skype + Video-Play.
+    W4,
+    /// Game-1 + Skype.
+    W5,
+    /// AR-Game + Audio-Play.
+    W6,
+    /// Video-Play + Video-Record.
+    W7,
+    /// Video-Play + AR-Game.
+    W8,
+}
+
+/// A fully-instantiated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which Table 2 row this is.
+    pub workload: Workload,
+    /// The paper's use-case description.
+    pub description: &'static str,
+    /// The concurrent application instances.
+    pub apps: Vec<AppSpec>,
+}
+
+impl Workload {
+    /// All eight, in Table 2 order.
+    pub const ALL: [Workload; 8] = [
+        Workload::W1,
+        Workload::W2,
+        Workload::W3,
+        Workload::W4,
+        Workload::W5,
+        Workload::W6,
+        Workload::W7,
+        Workload::W8,
+    ];
+
+    /// The paper's identifier ("W1".."W8").
+    pub fn id(self) -> &'static str {
+        match self {
+            Workload::W1 => "W1",
+            Workload::W2 => "W2",
+            Workload::W3 => "W3",
+            Workload::W4 => "W4",
+            Workload::W5 => "W5",
+            Workload::W6 => "W6",
+            Workload::W7 => "W7",
+            Workload::W8 => "W8",
+        }
+    }
+
+    /// Instantiates the workload (seeding any touch traces).
+    pub fn spec(self, seed: u64) -> WorkloadSpec {
+        let (description, apps) = match self {
+            Workload::W1 => (
+                "Concurrent multiple Video Playback from disk",
+                vec![App::A5.spec(seed, 0), App::A5.spec(seed + 1, 1)],
+            ),
+            Workload::W2 => {
+                // One 4K video (A5's default) plus two 1080p videos.
+                let mut v1 = App::A5.spec(seed + 1, 1);
+                v1.flows[0] =
+                    video_play_flow(&format!("{}-fhd", v1.name), Resolution::FHD_1080, 60.0);
+                let mut v2 = App::A5.spec(seed + 2, 2);
+                v2.flows[0] =
+                    video_play_flow(&format!("{}-fhd", v2.name), Resolution::FHD_1080, 60.0);
+                (
+                    "Concurrent multiple Video Playback",
+                    vec![App::A5.spec(seed, 0), v1, v2],
+                )
+            }
+            Workload::W3 => (
+                "Youtube video played with video on disk",
+                vec![App::A5.spec(seed, 0), App::A7.spec(seed + 1, 1)],
+            ),
+            Workload::W4 => (
+                "Watching video while teleconferencing",
+                vec![App::A4.spec(seed, 0), App::A5.spec(seed + 1, 1)],
+            ),
+            Workload::W5 => (
+                "Online multi-player gaming",
+                vec![App::A1.spec(seed, 0), App::A4.spec(seed + 1, 1)],
+            ),
+            Workload::W6 => (
+                "Music playback from disk while gaming",
+                vec![App::A2.spec(seed, 0), App::A3.spec(seed + 1, 1)],
+            ),
+            Workload::W7 => (
+                "Recording while playing another video",
+                vec![App::A5.spec(seed, 0), App::A6.spec(seed + 1, 1)],
+            ),
+            Workload::W8 => (
+                "Multiplayer gaming with video-streaming",
+                vec![App::A5.spec(seed, 0), App::A2.spec(seed + 1, 1)],
+            ),
+        };
+        WorkloadSpec {
+            workload: self,
+            description,
+            apps,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// All flows of all apps, ready for [`vip_core::SystemSim::run`].
+    pub fn flows(&self) -> Vec<FlowSpec> {
+        self.apps.iter().flat_map(|a| a.flows.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc::IpKind;
+
+    #[test]
+    fn all_workloads_instantiate() {
+        for &w in &Workload::ALL {
+            let spec = w.spec(99);
+            assert!(spec.apps.len() >= 2, "{}: multi-app", w.id());
+            let flows = spec.flows();
+            assert!(!flows.is_empty());
+            for f in &flows {
+                f.validate().unwrap();
+            }
+            // Flow names are unique.
+            let mut names: Vec<&str> = flows.iter().map(|f| f.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), flows.len(), "{}: duplicate flow names", w.id());
+        }
+    }
+
+    #[test]
+    fn w2_has_a_4k_stream() {
+        let w2 = Workload::W2.spec(1);
+        let flows = w2.flows();
+        assert!(flows
+            .iter()
+            .any(|f| f.stages.iter().any(|s| s.out_bytes == Resolution::UHD_4K.nv12_bytes())));
+        assert_eq!(w2.apps.len(), 3);
+    }
+
+    #[test]
+    fn shared_ips_exist_in_every_workload() {
+        // The premise of the paper: multi-app workloads contend on shared
+        // IPs (at minimum the display or a codec).
+        for &w in &Workload::ALL {
+            let spec = w.spec(5);
+            let mut seen = std::collections::HashMap::new();
+            for (ai, app) in spec.apps.iter().enumerate() {
+                for f in &app.flows {
+                    for s in &f.stages {
+                        seen.entry(s.ip).or_insert_with(std::collections::HashSet::new).insert(ai);
+                    }
+                }
+            }
+            let shared = seen.values().any(|apps| apps.len() >= 2);
+            assert!(shared, "{}: no shared IP", w.id());
+        }
+    }
+
+    #[test]
+    fn w5_shares_the_display() {
+        let w5 = Workload::W5.spec(3);
+        let dc_users: usize = w5
+            .apps
+            .iter()
+            .filter(|a| {
+                a.flows
+                    .iter()
+                    .any(|f| f.stages.iter().any(|s| s.ip == IpKind::Dc))
+            })
+            .count();
+        assert_eq!(dc_users, 2, "game and Skype both display");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(Workload::W6.spec(42), Workload::W6.spec(42));
+    }
+}

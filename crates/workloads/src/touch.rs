@@ -1,0 +1,255 @@
+//! Synthetic user-interaction traces for the gaming applications.
+//!
+//! The paper instruments open-source Flappy Bird (tap-based) and Fruit
+//! Ninja (flick-based) builds with 20 players for 10+ minutes each, and
+//! uses the captured behaviour to size game frame bursts (§4.3, Figs
+//! 5–6): successive taps are at least ~0.15 s apart with most gaps above
+//! 0.5 s, and ~60 % of Fruit Ninja frames fall between flicks and are
+//! burstable. The study itself is irreproducible (no published trace
+//! files), so this module generates stochastic traces *fitted to the
+//! published distributions* — the only property the system evaluation
+//! consumes.
+
+use desim::{SimDelta, SimTime, SplitMix64};
+use vip_core::BurstGate;
+
+/// One touch interaction: a tap or a flick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchEvent {
+    /// When the finger lands.
+    pub start: SimTime,
+    /// Contact duration (taps are short, flicks long).
+    pub duration: SimDelta,
+}
+
+/// A user-interaction trace over a play session.
+///
+/// # Example
+///
+/// ```
+/// use desim::SimDelta;
+/// use workloads::TouchTrace;
+/// let t = TouchTrace::flappy_bird(7, SimDelta::from_secs(60));
+/// assert!(t.events.len() > 30, "a minute of play has many taps");
+/// let gaps = t.tap_intervals_secs();
+/// assert!(gaps.iter().all(|&g| g >= 0.15), "paper: taps >= 0.15s apart");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TouchTrace {
+    /// The interactions, in time order.
+    pub events: Vec<TouchEvent>,
+    /// Length of the session.
+    pub duration: SimDelta,
+}
+
+impl TouchTrace {
+    /// A Flappy Bird-style tap trace: log-normal tap gaps with median
+    /// ≈ 0.55 s (≈ 60 % of gaps above 0.5 s, as in Fig 5), truncated at
+    /// the paper's 0.15 s minimum; taps last ~80 ms.
+    pub fn flappy_bird(seed: u64, duration: SimDelta) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xF1A9);
+        let mut events = Vec::new();
+        let mut t = 0.3 + rng.next_f64() * 0.4;
+        while t < duration.as_secs() {
+            events.push(TouchEvent {
+                start: SimTime::from_ns((t * 1e9) as u64),
+                duration: SimDelta::from_ms(80),
+            });
+            // Truncated log-normal gap.
+            let gap = loop {
+                let g = rng.log_normal((0.55f64).ln(), 0.45);
+                if g >= 0.15 {
+                    break g.min(3.0);
+                }
+            };
+            t += gap;
+        }
+        TouchTrace { events, duration }
+    }
+
+    /// A Fruit Ninja-style flick trace: flicks of 0.3–0.6 s separated by
+    /// heavy-tailed log-normal pauses, fitted so that ≈ 40 % of frames
+    /// fall inside flicks (Fig 6a) with burstable runs reaching hundreds
+    /// of frames (Fig 6b).
+    pub fn fruit_ninja(seed: u64, duration: SimDelta) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xF4017);
+        let mut events = Vec::new();
+        let mut t = 0.2 + rng.next_f64() * 0.3;
+        while t < duration.as_secs() {
+            let flick = 0.3 + rng.next_f64() * 0.3;
+            events.push(TouchEvent {
+                start: SimTime::from_ns((t * 1e9) as u64),
+                duration: SimDelta::from_secs_f64(flick),
+            });
+            let gap = rng.log_normal((0.5f64).ln(), 0.8).clamp(0.1, 8.0);
+            t += flick + gap;
+        }
+        TouchTrace { events, duration }
+    }
+
+    /// The burst gate this trace induces: bursting is disabled while the
+    /// user interacts (paper §4.3: "while flicking, the technique will be
+    /// disabled for maximum responsiveness").
+    pub fn gate(&self) -> BurstGate {
+        BurstGate::Blocked(
+            self.events
+                .iter()
+                .map(|e| (e.start, e.start + e.duration))
+                .collect(),
+        )
+    }
+
+    /// Gaps between successive interaction starts, in seconds (Fig 5's
+    /// variable).
+    pub fn tap_intervals_secs(&self) -> Vec<f64> {
+        self.events
+            .windows(2)
+            .map(|w| w[1].start.since(w[0].start).as_secs())
+            .collect()
+    }
+
+    /// Classifies each frame of a `fps` stream as burstable (outside any
+    /// interaction) or not, returning the counts and the lengths of
+    /// maximal burstable runs (Figs 6a/6b).
+    pub fn frame_burstability(&self, fps: f64) -> Burstability {
+        let period = 1.0 / fps;
+        let total = (self.duration.as_secs() / period) as u64;
+        let mut burstable = 0u64;
+        let mut runs = Vec::new();
+        let mut run = 0u64;
+        let mut ev = 0usize;
+        for k in 0..total {
+            let t = k as f64 * period;
+            while ev < self.events.len()
+                && (self.events[ev].start + self.events[ev].duration).as_secs() <= t
+            {
+                ev += 1;
+            }
+            let in_touch = ev < self.events.len()
+                && self.events[ev].start.as_secs() <= t
+                && t < (self.events[ev].start + self.events[ev].duration).as_secs();
+            if in_touch {
+                if run > 0 {
+                    runs.push(run);
+                    run = 0;
+                }
+            } else {
+                burstable += 1;
+                run += 1;
+            }
+        }
+        if run > 0 {
+            runs.push(run);
+        }
+        Burstability {
+            burstable,
+            blocked: total - burstable,
+            runs,
+        }
+    }
+}
+
+/// Result of [`TouchTrace::frame_burstability`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Burstability {
+    /// Frames outside interactions (may join a burst).
+    pub burstable: u64,
+    /// Frames inside interactions (must render per frame).
+    pub blocked: u64,
+    /// Lengths of maximal burstable runs, in frames.
+    pub runs: Vec<u64>,
+}
+
+impl Burstability {
+    /// Fraction of frames that may burst (Fig 6a's headline ≈ 60 %).
+    pub fn fraction_burstable(&self) -> f64 {
+        let total = self.burstable + self.blocked;
+        if total == 0 {
+            0.0
+        } else {
+            self.burstable as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes(m: u64) -> SimDelta {
+        SimDelta::from_secs(m * 60)
+    }
+
+    #[test]
+    fn flappy_gaps_match_fig5() {
+        // Aggregate many "players" like the paper's 20-user study.
+        let mut all = Vec::new();
+        for p in 0..20 {
+            all.extend(TouchTrace::flappy_bird(p, minutes(10)).tap_intervals_secs());
+        }
+        assert!(all.len() > 5_000);
+        assert!(all.iter().all(|&g| g >= 0.15), "min gap 0.15s");
+        let above_half = all.iter().filter(|&&g| g > 0.5).count() as f64 / all.len() as f64;
+        assert!(
+            (0.5..0.75).contains(&above_half),
+            "fraction above 0.5s = {above_half}, paper says >60%"
+        );
+    }
+
+    #[test]
+    fn fruit_ninja_burstability_matches_fig6a() {
+        let mut burstable = 0u64;
+        let mut blocked = 0u64;
+        for p in 0..20 {
+            let b = TouchTrace::fruit_ninja(p, minutes(10)).frame_burstability(60.0);
+            burstable += b.burstable;
+            blocked += b.blocked;
+        }
+        let frac = burstable as f64 / (burstable + blocked) as f64;
+        // Paper: ~60% of frames can burst, ~40% cannot.
+        assert!((0.5..0.72).contains(&frac), "burstable fraction {frac}");
+    }
+
+    #[test]
+    fn fruit_ninja_runs_have_long_tail() {
+        let b = TouchTrace::fruit_ninja(3, minutes(10)).frame_burstability(60.0);
+        assert!(!b.runs.is_empty());
+        let max = *b.runs.iter().max().unwrap();
+        // Fig 6b: bursts of 27-30 frames exist; tails run past 100.
+        assert!(max > 60, "longest burstable run only {max} frames");
+        let short = b.runs.iter().filter(|&&r| r < 36).count();
+        assert!(short > 0, "short runs should exist too");
+    }
+
+    #[test]
+    fn gate_blocks_during_touches() {
+        let t = TouchTrace::flappy_bird(1, minutes(1));
+        let gate = t.gate();
+        let first = t.events[0];
+        let mid = first.start + first.duration / 2;
+        assert_eq!(gate.allowed(mid, 5), 1, "blocked during a tap");
+        // Just before the first tap bursts are allowed.
+        assert_eq!(gate.allowed(SimTime::ZERO, 5), 5);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(
+            TouchTrace::fruit_ninja(9, minutes(1)),
+            TouchTrace::fruit_ninja(9, minutes(1))
+        );
+        assert_ne!(
+            TouchTrace::fruit_ninja(9, minutes(1)),
+            TouchTrace::fruit_ninja(10, minutes(1))
+        );
+    }
+
+    #[test]
+    fn burstability_counts_all_frames() {
+        let t = TouchTrace::fruit_ninja(2, SimDelta::from_secs(30));
+        let b = t.frame_burstability(60.0);
+        assert_eq!(b.burstable + b.blocked, 30 * 60);
+        let run_sum: u64 = b.runs.iter().sum();
+        assert_eq!(run_sum, b.burstable);
+    }
+}

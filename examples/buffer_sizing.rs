@@ -1,0 +1,54 @@
+//! Reproduces the paper's buffer-sizing study (§5.5, Fig 14): sweep the
+//! per-lane flow-buffer capacity, watch stalls inflate flow time as it
+//! shrinks, and weigh that against the SRAM energy/area of growing it.
+//!
+//! ```text
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use vip::cacti_lite::SramSpec;
+use vip::prelude::*;
+use vip::workloads::apps::{audio_play_flow, video_play_flow};
+
+fn main() {
+    println!("Per-lane buffer sweep on a 4K/60 player under VIP\n");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>12}",
+        "buffer", "flow time ms", "vs 16KB", "nJ per read", "area mm^2"
+    );
+
+    let sizes = [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0];
+    let times: Vec<f64> = sizes
+        .iter()
+        .map(|&kb| {
+            let bytes = (kb * 1024.0) as u64;
+            let mut cfg = SystemConfig::table3(Scheme::Vip);
+            cfg.duration = SimDelta::from_ms(300);
+            cfg.buffer_bytes_per_lane = bytes;
+            cfg.subframe_bytes = cfg.subframe_bytes.min(bytes / 2).max(64);
+            let flows = vec![
+                video_play_flow("vid", Resolution::UHD_4K, 60.0),
+                audio_play_flow("aud"),
+            ];
+            SystemSim::run(cfg, flows).flows[0].avg_flow_time.as_ms()
+        })
+        .collect();
+    let reference = *times.last().expect("nonempty sweep");
+    for (&kb, &ft) in sizes.iter().zip(&times) {
+        let sram = SramSpec::new((kb * 1024.0) as u64, 64);
+        println!(
+            "{:>6.1}KB {:>14.3} {:>11.3}x {:>14.4} {:>12.3}",
+            kb,
+            ft,
+            ft / reference,
+            sram.read_energy_nj(),
+            sram.area_mm2()
+        );
+    }
+
+    println!(
+        "\nThe paper picks 2 KB (32 cache lines) per lane: within a few \
+         percent of the\nunbounded-buffer flow time at a fraction of the \
+         64 KB array's energy and area."
+    );
+}

@@ -1,0 +1,41 @@
+//! Run the paper's W1 workload (two concurrent video players) across the
+//! measured device generations and both the baseline and VIP — showing how
+//! the weakest platform (the 2013 Nexus 7, which could not run four HD
+//! streams) benefits most from virtualized chains.
+//!
+//! ```text
+//! cargo run --release --example device_comparison
+//! ```
+
+use vip::prelude::*;
+use vip::vip_core::Device;
+
+fn main() {
+    println!(
+        "{:<22} {:>10} {:>22} {:>22}",
+        "device", "mem GB/s", "baseline viol%/mJ", "VIP viol%/mJ"
+    );
+    for device in Device::ALL {
+        let run = |scheme| {
+            let mut cfg = device.config(scheme);
+            cfg.duration = SimDelta::from_ms(500);
+            SystemSim::run(cfg, Workload::W1.spec(7).flows())
+        };
+        let base = run(Scheme::Baseline);
+        let vip = run(Scheme::Vip);
+        println!(
+            "{:<22} {:>10.1} {:>13.1}% / {:>5.2} {:>13.1}% / {:>5.2}",
+            device.name(),
+            device.peak_memory_gbps(),
+            base.violation_rate() * 100.0,
+            base.energy_per_frame_mj(),
+            vip.violation_rate() * 100.0,
+            vip.energy_per_frame_mj(),
+        );
+    }
+    println!(
+        "\nWeaker memory and slower accelerators amplify both of VIP's wins: \
+         the DRAM\ntraffic it removes was scarcer, and the scheduling slack \
+         its EDF lanes recover\nwas thinner."
+    );
+}

@@ -1,0 +1,38 @@
+//! Frame-timeline forensics: trace every frame of a shared-display
+//! scenario under burst mode and under VIP, and print where the
+//! head-of-line blocking loses deadlines (the paper's Fig 7).
+//!
+//! ```text
+//! cargo run --release --example frame_timeline
+//! ```
+
+use vip::prelude::*;
+use vip::vip_core::SystemSim;
+
+fn main() {
+    for scheme in [Scheme::IpToIpBurst, Scheme::Vip] {
+        let mut cfg = SystemConfig::table3(scheme);
+        cfg.duration = SimDelta::from_ms(250);
+        cfg.background = None; // keep the timeline clean: pure HOL effects
+        let (report, traces) = SystemSim::run_detailed(cfg, Workload::W1.spec(3).flows());
+
+        println!(
+            "=== {} — {} of {} frames violated, p95 flow time {:.2} ms ===",
+            scheme.label(),
+            report.frames_violated,
+            report.frames_sourced,
+            report.p95_flow_time.as_ms()
+        );
+        for trace in traces.iter().filter(|t| t.name.contains("video")) {
+            print!("{}", trace.render(8));
+        }
+        println!();
+    }
+
+    println!(
+        "Under IP-to-IP w FB, the second player's frames sit behind the \
+         first player's\nwhole 5-frame burst at the shared decoder and \
+         display; under VIP the EDF lanes\ninterleave them at sub-frame \
+         granularity and both streams hold 60 FPS."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: open a virtual IP chain with the paper's API, run a video
+//! player through it under each of the five schemes, and compare the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vip::prelude::*;
+
+fn main() {
+    println!("VIP quickstart: one 4K/60 video player, five system designs\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "mJ/frame", "irq/100ms", "flow ms", "QoS viol %"
+    );
+
+    for scheme in Scheme::ALL {
+        // The paper's programming model (Figs 9-11): open a chain of IPs,
+        // then schedule periodic frames against it.
+        let mut cfg = SystemConfig::table3(scheme);
+        cfg.duration = SimDelta::from_ms(400);
+        let mut platform = Platform::new(cfg);
+
+        let chain = ChainDescriptor::new("video-play", &[IpKind::Vd, IpKind::Dc]);
+        let id = platform.open(chain).expect("valid chain");
+        platform
+            .schedule_frames(
+                id,
+                60.0,
+                Resolution::UHD_4K.bitstream_bytes(30.0, 60.0),
+                &[Resolution::UHD_4K.nv12_bytes(), 0],
+            )
+            .expect("valid schedule");
+
+        let report = platform.run().expect("scheduled");
+        println!(
+            "{:<14} {:>12.3} {:>12.1} {:>12.2} {:>12.2}",
+            scheme.label(),
+            report.energy_per_frame_mj(),
+            report.irq_per_100ms(),
+            report.avg_flow_time.as_ms(),
+            report.violation_rate() * 100.0,
+        );
+    }
+
+    println!(
+        "\nChaining (IP-to-IP) removes the DRAM round-trips between decoder \
+         and display;\nbursts remove per-frame CPU work and interrupts; VIP \
+         keeps both while its\nEDF lanes protect QoS under sharing."
+    );
+}

@@ -1,0 +1,51 @@
+//! # vip — Virtualizing IP Chains on Handheld Platforms (ISCA 2015)
+//!
+//! A from-scratch Rust reproduction of the VIP paper: a full-SoC
+//! simulation framework in which chains of accelerator IP cores can be
+//! virtualized — IP-to-IP communication through small flow buffers,
+//! CPU-free frame bursts, and per-flow buffer lanes scheduled by a
+//! hardware EDF scheduler — and the paper's complete evaluation
+//! (Tables 1–3, Figs 2–18) regenerated on top of it.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`desim`] — deterministic discrete-event simulation kernel,
+//! * [`dram`] — LPDDR3 memory-system model (FR-FCFS, bank timing, energy),
+//! * [`soc`] — IP cores, CPU cores with sleep states, System Agent, flow
+//!   buffers,
+//! * [`vip_core`] — the paper's contribution: schemes, chains, header
+//!   packets, the virtualized-IP EDF scheduler, and the full-system
+//!   simulator,
+//! * [`workloads`] — applications A1–A7, workloads W1–W8, touch traces,
+//! * [`cacti_lite`] — the SRAM buffer energy/area model.
+//!
+//! # Quick start
+//!
+//! ```
+//! use vip::prelude::*;
+//!
+//! // Compare the baseline against VIP on the paper's W1 workload.
+//! let mut cfg = SystemConfig::table3(Scheme::Baseline);
+//! cfg.duration = SimDelta::from_ms(150);
+//! let baseline = SystemSim::run(cfg.clone(), Workload::W1.spec(7).flows());
+//! cfg.scheme = Scheme::Vip;
+//! let vip = SystemSim::run(cfg, Workload::W1.spec(7).flows());
+//! assert!(vip.energy.total_j() < baseline.energy.total_j());
+//! ```
+
+pub use cacti_lite;
+pub use desim;
+pub use dram;
+pub use soc;
+pub use vip_core;
+pub use workloads;
+
+/// The most commonly used items, for `use vip::prelude::*`.
+pub mod prelude {
+    pub use desim::{SimDelta, SimTime};
+    pub use soc::{EnergyBreakdown, IpKind};
+    pub use vip_core::{
+        ChainDescriptor, FlowSpec, Platform, Scheme, SystemConfig, SystemReport, SystemSim,
+    };
+    pub use workloads::{App, Resolution, TouchTrace, Workload};
+}

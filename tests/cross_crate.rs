@@ -1,0 +1,111 @@
+//! Cross-crate integration: the facade, the chain API, the workload suite
+//! and the experiment harness working together.
+
+use vip::prelude::*;
+use vip::vip_core::{BurstGate, SchedPolicy};
+
+#[test]
+fn facade_prelude_compiles_a_full_run() {
+    let mut cfg = SystemConfig::table3(Scheme::Vip);
+    cfg.duration = SimDelta::from_ms(150);
+    let report = SystemSim::run(cfg, App::A3.spec(1, 0).flows);
+    assert!(report.frames_completed > 0);
+    assert!(report.energy.total_j() > 0.0);
+}
+
+#[test]
+fn chain_api_matches_flow_api() {
+    // The same scenario expressed through the paper's open()/schedule API
+    // and directly as a FlowSpec must agree.
+    let mut cfg = SystemConfig::table3(Scheme::IpToIp);
+    cfg.duration = SimDelta::from_ms(200);
+
+    let mut platform = Platform::new(cfg.clone());
+    let id = platform
+        .open(ChainDescriptor::new("vid", &[IpKind::Vd, IpKind::Dc]))
+        .unwrap();
+    platform
+        .schedule_frames(id, 30.0, 100_000, &[1_000_000, 0])
+        .unwrap();
+    let via_chain = platform.run().unwrap();
+
+    let flow = FlowSpec::builder("vid")
+        .fps(30.0)
+        .cpu_source(100_000, 200_000, 240_000)
+        .stage(IpKind::Vd, 1_000_000)
+        .stage(IpKind::Dc, 0)
+        .build();
+    let via_flow = SystemSim::run(cfg, vec![flow]);
+
+    assert_eq!(via_chain.frames_sourced, via_flow.frames_sourced);
+    assert_eq!(via_chain.frames_completed, via_flow.frames_completed);
+}
+
+#[test]
+fn touch_traces_gate_real_runs() {
+    let trace = TouchTrace::flappy_bird(3, SimDelta::from_secs(2));
+    let gate = trace.gate();
+    match &gate {
+        BurstGate::Blocked(w) => assert!(!w.is_empty()),
+        BurstGate::Open => panic!("trace produced no windows"),
+    }
+    // A gated game flow still runs to completion under VIP.
+    let mut cfg = SystemConfig::table3(Scheme::Vip);
+    cfg.duration = SimDelta::from_ms(300);
+    let rep = SystemSim::run(cfg, App::A1.spec(3, 0).flows);
+    assert!(rep.frames_completed > 0);
+}
+
+#[test]
+fn scheduling_policies_are_selectable() {
+    for policy in [SchedPolicy::Edf, SchedPolicy::Fifo, SchedPolicy::RoundRobin] {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.duration = SimDelta::from_ms(200);
+        cfg.sched_policy = policy;
+        let rep = SystemSim::run(cfg, Workload::W1.spec(1).flows());
+        assert!(rep.frames_completed > 0, "{policy:?} stalled");
+    }
+}
+
+#[test]
+fn edf_qos_no_worse_than_alternatives() {
+    let run = |policy| {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.duration = SimDelta::from_ms(600);
+        cfg.sched_policy = policy;
+        SystemSim::run(cfg, Workload::W1.spec(1).flows()).frames_violated
+    };
+    let edf = run(SchedPolicy::Edf);
+    let fifo = run(SchedPolicy::Fifo);
+    let rr = run(SchedPolicy::RoundRobin);
+    assert!(edf <= fifo + 1, "EDF {edf} vs FIFO {fifo}");
+    assert!(edf <= rr + 1, "EDF {edf} vs RR {rr}");
+}
+
+#[test]
+fn buffer_energy_scales_with_traffic() {
+    let short = {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.duration = SimDelta::from_ms(150);
+        SystemSim::run(cfg, Workload::W1.spec(1).flows())
+    };
+    let long = {
+        let mut cfg = SystemConfig::table3(Scheme::Vip);
+        cfg.duration = SimDelta::from_ms(300);
+        SystemSim::run(cfg, Workload::W1.spec(1).flows())
+    };
+    assert!(long.energy.buffer_j > short.energy.buffer_j);
+    // Baseline moves nothing through lane buffers.
+    let mut cfg = SystemConfig::table3(Scheme::Baseline);
+    cfg.duration = SimDelta::from_ms(150);
+    let base = SystemSim::run(cfg, Workload::W1.spec(1).flows());
+    assert_eq!(base.energy.buffer_j, 0.0);
+}
+
+#[test]
+fn sram_model_feeds_platform_costs() {
+    use vip::cacti_lite::SramSpec;
+    let chosen = SramSpec::new(2048, 64);
+    let huge = SramSpec::new(65536, 64);
+    assert!(chosen.area_mm2() * 4.0 < huge.area_mm2());
+}
