@@ -1,10 +1,31 @@
-//! Criterion benches of the substrate components: DES engine throughput,
-//! DRAM controller service rate, and buffer flow-control operations.
+//! Benches of the substrate components: DES engine throughput, event-queue
+//! structures, DRAM controller service rate, and buffer flow-control
+//! operations. Hand-rolled timing (median of repeated runs) so the bench
+//! builds without external crates; run with `cargo bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use desim::{Engine, Model, Scheduler, SimDelta, SimTime};
 use dram::{DramConfig, MemOp, MemRequest, MemorySystem};
 use soc::LaneBuffer;
+
+/// Times `f` over `iters` runs and reports the median per-run time.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<28} {:>12.3} ms/iter  ({iters} iters)",
+        median as f64 / 1e6
+    );
+}
 
 struct Chain {
     hops: u32,
@@ -19,18 +40,16 @@ impl Model for Chain {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("desim-100k-events", |b| {
-        b.iter(|| {
-            let mut eng = Engine::new(Chain { hops: 100_000 });
-            eng.scheduler().immediately(());
-            eng.run();
-            eng.now()
-        });
+fn bench_engine() {
+    bench("desim-100k-events", 20, || {
+        let mut eng = Engine::new(Chain { hops: 100_000 });
+        eng.scheduler().immediately(());
+        eng.run();
+        black_box(eng.now());
     });
 }
 
-fn bench_calendar_vs_heap(c: &mut Criterion) {
+fn bench_calendar_vs_heap() {
     use desim::CalendarQueue;
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -40,68 +59,62 @@ fn bench_calendar_vs_heap(c: &mut Criterion) {
         (0..50_000).map(|_| rng.below(1_000_000)).collect()
     };
 
-    let mut g = c.benchmark_group("event-queue-50k");
-    g.bench_function("binary-heap", |b| {
-        b.iter(|| {
-            let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-            for (i, &t) in times.iter().enumerate() {
-                h.push(Reverse((t, i as u64)));
-            }
-            let mut n = 0u64;
-            while h.pop().is_some() {
-                n += 1;
-            }
-            n
-        });
+    bench("queue-50k/binary-heap", 20, || {
+        let mut h: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        for (i, &t) in times.iter().enumerate() {
+            h.push(Reverse((t, i as u64)));
+        }
+        let mut n = 0u64;
+        while h.pop().is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
-    g.bench_function("calendar-queue", |b| {
-        b.iter(|| {
-            let mut q = CalendarQueue::with_geometry(1024, 1024);
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime::from_ns(t), i as u64);
-            }
-            let mut n = 0u64;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        });
-    });
-    g.finish();
-}
-
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram-4k-requests", |b| {
-        b.iter(|| {
-            let mut mem = MemorySystem::new(DramConfig::lpddr3_table3());
-            for i in 0..4096u64 {
-                mem.submit(
-                    SimTime::ZERO,
-                    MemRequest::new(i * 1024, 1024, MemOp::Read, i),
-                );
-            }
-            mem.drain(SimTime::ZERO).len()
-        });
+    bench("queue-50k/calendar-queue", 20, || {
+        let mut q = CalendarQueue::with_geometry(1024, 1024);
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), i as u64);
+        }
+        let mut n = 0u64;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
 }
 
-fn bench_buffer(c: &mut Criterion) {
-    c.bench_function("lane-buffer-1m-ops", |b| {
-        b.iter(|| {
-            let mut lane = LaneBuffer::new(2048);
-            let mut moved = 0u64;
-            for _ in 0..1_000_000 {
-                if lane.try_reserve(1024) {
-                    lane.commit(1024);
-                } else {
-                    lane.consume(1024);
-                }
-                moved += 1024;
-            }
-            moved
-        });
+fn bench_dram() {
+    bench("dram-4k-requests", 20, || {
+        let mut mem = MemorySystem::new(DramConfig::lpddr3_table3());
+        for i in 0..4096u64 {
+            mem.submit(
+                SimTime::ZERO,
+                MemRequest::new(i * 1024, 1024, MemOp::Read, i),
+            );
+        }
+        black_box(mem.drain(SimTime::ZERO).len());
     });
 }
 
-criterion_group!(benches, bench_engine, bench_calendar_vs_heap, bench_dram, bench_buffer);
-criterion_main!(benches);
+fn bench_buffer() {
+    bench("lane-buffer-1m-ops", 10, || {
+        let mut lane = LaneBuffer::new(2048);
+        let mut moved = 0u64;
+        for _ in 0..1_000_000 {
+            if lane.try_reserve(1024) {
+                lane.commit(1024);
+            } else {
+                lane.consume(1024);
+            }
+            moved += 1024;
+        }
+        black_box(moved);
+    });
+}
+
+fn main() {
+    bench_engine();
+    bench_calendar_vs_heap();
+    bench_dram();
+    bench_buffer();
+}

@@ -1,36 +1,41 @@
-//! Criterion benches over the five schemes: wall-clock cost of simulating
-//! representative workloads, and the headline metric extraction.
+//! Benches over the five schemes: wall-clock cost of simulating
+//! representative workloads. Hand-rolled timing (median of repeated runs)
+//! so the bench builds without external crates; run with
+//! `cargo bench --bench schemes`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use vip_bench::{run_workload, RunSettings};
 use vip_core::Scheme;
 use workloads::Workload;
 
-fn bench_schemes(c: &mut Criterion) {
-    let settings = RunSettings::with_ms(60);
-    let mut g = c.benchmark_group("simulate-W5");
-    g.sample_size(10);
-    for &scheme in &Scheme::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()), &scheme, |b, &s| {
-                b.iter(|| run_workload(Workload::W5, s, settings));
-            },
-        );
-    }
-    g.finish();
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<28} {:>12.3} ms/iter  ({iters} iters)",
+        median as f64 / 1e6
+    );
 }
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
     let settings = RunSettings::with_ms(60);
-    let mut g = c.benchmark_group("simulate-vip");
-    g.sample_size(10);
-    for &w in &[Workload::W1, Workload::W5, Workload::W7] {
-        g.bench_with_input(BenchmarkId::from_parameter(w.id()), &w, |b, &w| {
-            b.iter(|| run_workload(w, Scheme::Vip, settings));
+    for &scheme in &Scheme::ALL {
+        bench(&format!("simulate-W5/{}", scheme.label()), 10, || {
+            black_box(run_workload(Workload::W5, scheme, settings));
         });
     }
-    g.finish();
+    for &w in &[Workload::W1, Workload::W5, Workload::W7] {
+        bench(&format!("simulate-vip/{}", w.id()), 10, || {
+            black_box(run_workload(w, Scheme::Vip, settings));
+        });
+    }
 }
-
-criterion_group!(benches, bench_schemes, bench_workloads);
-criterion_main!(benches);

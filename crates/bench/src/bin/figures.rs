@@ -146,7 +146,11 @@ fn main() {
             let claims = check::claims_with_matrix(matrix.as_ref().expect("matrix"), s);
             print!("{}", check::render(&claims).render());
             let failed = claims.iter().filter(|c| !c.holds()).count();
-            println!("\n{} of {} claims hold", claims.len() - failed, claims.len());
+            println!(
+                "\n{} of {} claims hold",
+                claims.len() - failed,
+                claims.len()
+            );
             if failed > 0 {
                 std::process::exit(1);
             }
@@ -168,7 +172,11 @@ fn main() {
             let claims = check::claims_with_matrix(m, s);
             print!("{}", check::render(&claims).render());
             let failed = claims.iter().filter(|c| !c.holds()).count();
-            println!("\n{} of {} claims hold", claims.len() - failed, claims.len());
+            println!(
+                "\n{} of {} claims hold",
+                claims.len() - failed,
+                claims.len()
+            );
         }
         other => {
             eprintln!("unknown experiment: {other}");

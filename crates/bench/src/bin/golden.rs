@@ -1,0 +1,29 @@
+//! Dumps the golden determinism table: the `SystemReport` digest of every
+//! (unit, scheme) cell at the short golden horizon, formatted as the Rust
+//! const table that `tests/golden.rs` pins. Regenerate (and review the
+//! diff!) only when a change is *supposed* to alter simulation results:
+//!
+//! ```text
+//! cargo run --release -p vip-bench --bin golden
+//! ```
+
+use vip_bench::{Matrix, RunSettings, Unit};
+use vip_core::Scheme;
+
+fn main() {
+    let settings = RunSettings::with_ms(vip_bench::GOLDEN_HORIZON_MS);
+    let units = Unit::all();
+    let m = Matrix::run_subset(settings, &units);
+    println!(
+        "pub const GOLDEN_DIGESTS: [(&str, [u64; {}]); {}] = [",
+        Scheme::ALL.len(),
+        units.len()
+    );
+    for (u, unit) in units.iter().enumerate() {
+        let row: Vec<String> = (0..Scheme::ALL.len())
+            .map(|s| format!("{:#018x}", m.results[u][s].digest()))
+            .collect();
+        println!("    (\"{}\", [{}]),", unit.label(), row.join(", "));
+    }
+    println!("];");
+}

@@ -1,0 +1,87 @@
+//! Tracked performance harness for the event engine.
+//!
+//! Runs a pinned subset of the units × schemes evaluation matrix
+//! single-threaded (so the number is a dispatch-throughput measurement,
+//! not a parallelism measurement), reports wall-clock, events dispatched,
+//! and events/sec, and writes the result as JSON at the repo root so the
+//! performance trajectory is tracked PR over PR.
+//!
+//! ```text
+//! cargo run --release -p vip-bench --bin perf            # BENCH_1.json
+//! cargo run --release -p vip-bench --bin perf -- --ms 150 --out /tmp/b.json
+//! ```
+
+use std::time::Instant;
+
+use vip_bench::{RunSettings, Unit};
+use vip_core::Scheme;
+use workloads::{App, Workload};
+
+/// The pinned measurement subset: three single-app units spanning light
+/// (A1 music) to heavy (A5 4K player) chains, plus two multi-app
+/// workloads. Changing this set breaks trajectory comparability — add a
+/// new BENCH file instead.
+fn pinned_units() -> Vec<Unit> {
+    vec![
+        Unit::App(App::A1),
+        Unit::App(App::A2),
+        Unit::App(App::A5),
+        Unit::Wkld(Workload::W1),
+        Unit::Wkld(Workload::W5),
+    ]
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let ms: u64 = get("--ms").and_then(|v| v.parse().ok()).unwrap_or(300);
+    let out = get("--out")
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_1.json").to_string());
+    let settings = RunSettings::with_ms(ms);
+    let units = pinned_units();
+
+    // Warm-up pass (page in code and allocator state), then the timed pass.
+    let _ = units[0].run(Scheme::ALL[0], RunSettings::with_ms(50));
+
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    let mut digest = 0u64;
+    println!(
+        "{:<6} {:<12} {:>12} {:>10}",
+        "unit", "scheme", "events", "ms"
+    );
+    for &unit in &units {
+        for &scheme in &Scheme::ALL {
+            let cell0 = Instant::now();
+            let report = unit.run(scheme, settings);
+            events += report.events;
+            digest ^= report.digest().rotate_left((events % 63) as u32);
+            println!(
+                "{:<6} {:<12} {:>12} {:>10.1}",
+                unit.label(),
+                scheme.label(),
+                report.events,
+                cell0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+    }
+    let wall = t0.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events_per_sec = events as f64 / wall.as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"wall_ms\": {wall_ms:.3},\n  \"events\": {events},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n  \"sim_ms_per_cell\": {ms},\n  \
+         \"cells\": {cells},\n  \"report_digest\": \"{digest:#018x}\"\n}}\n",
+        cells = units.len() * Scheme::ALL.len(),
+    );
+    std::fs::write(&out, &json).expect("write benchmark json");
+    println!(
+        "\n{events} events in {wall_ms:.1} ms = {:.2} M events/sec  -> {out}",
+        events_per_sec / 1e6
+    );
+}

@@ -3,7 +3,7 @@
 //! context-switch penalty.
 
 use desim::SimDelta;
-use vip_core::{SchedPolicy, Scheme, SystemConfig, SystemSim, SystemReport};
+use vip_core::{SchedPolicy, Scheme, SystemConfig, SystemReport, SystemSim};
 use workloads::Workload;
 
 use crate::runner::RunSettings;

@@ -32,9 +32,8 @@ pub fn rows(matrix: &Matrix) -> Vec<Fig16Row> {
             let base = matrix.report(u, Scheme::Baseline);
             let fb = matrix.report(u, Scheme::FrameBurst);
             let e_red = (1.0 - fb.cpu_energy_j / base.cpu_energy_j.max(1e-12)) * 100.0;
-            let i_red = (1.0
-                - fb.cpu_instructions as f64 / base.cpu_instructions.max(1) as f64)
-                * 100.0;
+            let i_red =
+                (1.0 - fb.cpu_instructions as f64 / base.cpu_instructions.max(1) as f64) * 100.0;
             Fig16Row {
                 unit: matrix.unit_label(u).to_string(),
                 cpu_energy_reduction_pct: e_red,

@@ -75,8 +75,7 @@ pub fn rows(settings: RunSettings) -> Vec<Fig2Row> {
             .filter(|f| f.name.starts_with("vid"))
             .map(|f| f.frames_sourced - f.violations)
             .sum();
-        let fps_achieved =
-            video_frames as f64 / r60.duration.as_secs() / n as f64;
+        let fps_achieved = video_frames as f64 / r60.duration.as_secs() / n as f64;
         out.push(Fig2Row {
             apps: n,
             cpu_ms_24: r24.cpu_ms_per_frame(),

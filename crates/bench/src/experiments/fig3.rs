@@ -165,7 +165,11 @@ mod tests {
         assert!(rows[3].violation_rate >= rows[0].violation_rate);
         assert!(ideal.violation_rate <= rows[3].violation_rate);
         // The memory spends far more time near saturation at 4 apps.
-        assert!(rows[3].frac_near_saturation > rows[0].frac_near_saturation + 0.2,
-            "{} vs {}", rows[3].frac_near_saturation, rows[0].frac_near_saturation);
+        assert!(
+            rows[3].frac_near_saturation > rows[0].frac_near_saturation + 0.2,
+            "{} vs {}",
+            rows[3].frac_near_saturation,
+            rows[0].frac_near_saturation
+        );
     }
 }

@@ -70,7 +70,10 @@ mod tests {
         let f = study(20, 10, 7);
         assert!(f.taps > 5_000, "20 players x 10 min should tap a lot");
         // Paper: rapid successive clicks at least 0.15 s apart...
-        assert_eq!(f.hist.bin_count(0) + f.hist.total(), f.hist.total() + f.hist.bin_count(0));
+        assert_eq!(
+            f.hist.bin_count(0) + f.hist.total(),
+            f.hist.total() + f.hist.bin_count(0)
+        );
         // ...and most gaps (>60 %) above 0.5 s.
         assert!(
             f.frac_above_half_sec > 0.5,

@@ -69,8 +69,7 @@ pub fn table3() -> Table {
     ]);
     t.row(&[
         "IP params".into(),
-        "Aud.Frame: 16KB; Vid.Frame: 4K (3840x2160); Camera: 2560x1620; 60 FPS (16.66 ms)"
-            .into(),
+        "Aud.Frame: 16KB; Vid.Frame: 4K (3840x2160); Camera: 2560x1620; 60 FPS (16.66 ms)".into(),
     ]);
     t.row(&[
         "VIP".into(),

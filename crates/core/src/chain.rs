@@ -151,7 +151,11 @@ impl Platform {
                     .ips
                     .iter()
                     .zip(out_bytes)
-                    .map(|(ip, &out)| crate::flow::StageSpec { ip: *ip, out_bytes: out, side_read_bytes: 0 })
+                    .map(|(ip, &out)| crate::flow::StageSpec {
+                        ip: *ip,
+                        out_bytes: out,
+                        side_read_bytes: 0,
+                    })
                     .collect(),
                 fps,
                 deadline_periods: if sensor { 8.0 } else { 1.0 },
@@ -194,7 +198,8 @@ mod tests {
         let id = p
             .open(ChainDescriptor::new("vid", &[IpKind::Vd, IpKind::Dc]))
             .unwrap();
-        p.schedule_frames(id, 30.0, 100_000, &[1_000_000, 0]).unwrap();
+        p.schedule_frames(id, 30.0, 100_000, &[1_000_000, 0])
+            .unwrap();
         let rep = p.run().unwrap();
         assert!(rep.frames_completed > 0);
     }
@@ -234,7 +239,8 @@ mod tests {
                 &[IpKind::Cam, IpKind::Ve, IpKind::Mmc],
             ))
             .unwrap();
-        p.schedule_frames(id, 30.0, 0, &[1_000_000, 80_000, 0]).unwrap();
+        p.schedule_frames(id, 30.0, 0, &[1_000_000, 80_000, 0])
+            .unwrap();
         let rep = p.run().unwrap();
         assert!(rep.frames_completed > 0);
     }

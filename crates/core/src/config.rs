@@ -176,7 +176,10 @@ impl SystemConfig {
             cpu: CpuConfig::default_mobile(),
             dram: DramConfig::lpddr3_table3(),
             agent: AgentConfig::default_mobile(),
-            ips: IpKind::ALL.iter().map(|&k| IpConfig::default_for(k)).collect(),
+            ips: IpKind::ALL
+                .iter()
+                .map(|&k| IpConfig::default_for(k))
+                .collect(),
             subframe_bytes: 1024,
             buffer_bytes_per_lane: 2048,
             max_lanes: 4,
@@ -294,7 +297,10 @@ mod tests {
     fn effective_burst_follows_scheme() {
         assert_eq!(SystemConfig::table3(Scheme::Baseline).effective_burst(), 1);
         assert_eq!(SystemConfig::table3(Scheme::IpToIp).effective_burst(), 1);
-        assert_eq!(SystemConfig::table3(Scheme::FrameBurst).effective_burst(), 5);
+        assert_eq!(
+            SystemConfig::table3(Scheme::FrameBurst).effective_burst(),
+            5
+        );
         assert_eq!(SystemConfig::table3(Scheme::Vip).effective_burst(), 5);
     }
 

@@ -90,7 +90,10 @@ fn scale_ip_rates(cfg: &mut SystemConfig, factor: f64) {
     for ip in &mut cfg.ips {
         // The display link and sensor rates are panel/sensor properties,
         // not SoC generation properties.
-        if matches!(ip.kind, IpKind::Dc | IpKind::Cam | IpKind::Mic | IpKind::Snd) {
+        if matches!(
+            ip.kind,
+            IpKind::Dc | IpKind::Cam | IpKind::Mic | IpKind::Snd
+        ) {
             continue;
         }
         ip.compute_bytes_per_sec *= factor;

@@ -189,7 +189,10 @@ impl FlowSpec {
                     ));
                 }
                 if self.src_bytes != 0 {
-                    return Err(format!("{}: sensor flows read nothing from DRAM", self.name));
+                    return Err(format!(
+                        "{}: sensor flows read nothing from DRAM",
+                        self.name
+                    ));
                 }
             }
             SourceKind::Cpu { .. } => {
@@ -403,11 +406,22 @@ mod tests {
     fn repeated_ip_rejected() {
         let flow = FlowSpec {
             name: "loop".into(),
-            source: SourceKind::Cpu { prep_ns: 1, prep_instructions: 1 },
+            source: SourceKind::Cpu {
+                prep_ns: 1,
+                prep_instructions: 1,
+            },
             src_bytes: 100,
             stages: vec![
-                StageSpec { ip: IpKind::Gpu, out_bytes: 100, side_read_bytes: 0 },
-                StageSpec { ip: IpKind::Gpu, out_bytes: 100, side_read_bytes: 0 },
+                StageSpec {
+                    ip: IpKind::Gpu,
+                    out_bytes: 100,
+                    side_read_bytes: 0,
+                },
+                StageSpec {
+                    ip: IpKind::Gpu,
+                    out_bytes: 100,
+                    side_read_bytes: 0,
+                },
             ],
             fps: 30.0,
             deadline_periods: 1.0,

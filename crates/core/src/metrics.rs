@@ -178,6 +178,73 @@ pub struct SystemReport {
 }
 
 impl SystemReport {
+    /// A stable 64-bit digest over every field of the report.
+    ///
+    /// Two reports digest equal iff the simulations behaved identically
+    /// (bit-identical floats included), so this is the equality witness for
+    /// golden-determinism tests: the digest must not change across repeated
+    /// runs, across `Matrix::run_subset` worker counts, or across pure
+    /// performance refactors of the event engine.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = desim::hash::FxHasher::default();
+        let f = |h: &mut desim::hash::FxHasher, x: f64| h.write_u64(x.to_bits());
+        h.write_u64(self.scheme as u64);
+        h.write_u64(self.duration.as_ns());
+        f(&mut h, self.energy.cpu_j);
+        f(&mut h, self.energy.dram_j);
+        f(&mut h, self.energy.ip_j);
+        f(&mut h, self.energy.sa_j);
+        f(&mut h, self.energy.buffer_j);
+        for n in [
+            self.frames_sourced,
+            self.frames_completed,
+            self.frames_violated,
+            self.frames_dropped_at_source,
+            self.interrupts,
+            self.rollbacks,
+            self.cpu_active_ns,
+            self.cpu_instructions,
+            self.mem_bytes,
+            self.sa_bytes,
+            self.avg_flow_time.as_ns(),
+            self.p95_flow_time.as_ns(),
+            self.events,
+        ] {
+            h.write_u64(n);
+        }
+        f(&mut h, self.cpu_energy_j);
+        f(&mut h, self.background_cpu_j);
+        f(&mut h, self.mem_avg_gbps);
+        f(&mut h, self.mem_frac_above_80pct);
+        for &w in &self.mem_bw_windows_gbps {
+            f(&mut h, w);
+        }
+        for fr in &self.flows {
+            h.write(fr.name.as_bytes());
+            for n in [
+                fr.frames_sourced,
+                fr.frames_completed,
+                fr.violations,
+                fr.drops_at_source,
+                fr.avg_flow_time.as_ns(),
+                fr.p95_flow_time.as_ns(),
+                fr.avg_cpu_per_frame.as_ns(),
+            ] {
+                h.write_u64(n);
+            }
+        }
+        for ip in &self.ips {
+            h.write_u64(ip.kind.index() as u64);
+            f(&mut h, ip.utilization);
+            h.write_u64(ip.active_ns);
+            h.write_u64(ip.frames);
+            f(&mut h, ip.energy_j);
+            h.write_u64(ip.context_switches);
+        }
+        h.finish()
+    }
+
     /// Total energy per sourced frame, in millijoules (Fig 15's metric
     /// before normalization).
     pub fn energy_per_frame_mj(&self) -> f64 {
@@ -219,7 +286,10 @@ impl SystemReport {
 
     /// The utilization of a given IP, if it saw work.
     pub fn ip_utilization(&self, kind: IpKind) -> Option<f64> {
-        self.ips.iter().find(|r| r.kind == kind).map(|r| r.utilization)
+        self.ips
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| r.utilization)
     }
 
     /// Mean per-frame active time of a given IP, in milliseconds.
@@ -249,7 +319,10 @@ mod tests {
         assert!(!r.late());
         r.finished = Some(SimTime::from_ms(20));
         assert!(r.late());
-        assert!(r.violated(SimTime::from_ms(15)), "late even before now passes deadline");
+        assert!(
+            r.violated(SimTime::from_ms(15)),
+            "late even before now passes deadline"
+        );
     }
 
     #[test]

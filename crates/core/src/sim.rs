@@ -27,8 +27,8 @@
 
 use std::collections::VecDeque;
 
-use desim::{Engine, Model, Scheduler, SimDelta, SimTime};
-use dram::{MemOp, MemRequest, MemorySystem};
+use desim::{Engine, FxHashMap, Model, Scheduler, SimDelta, SimTime};
+use dram::{Completion, MemOp, MemRequest, MemorySystem};
 use soc::{CpuCore, IpConfig, IpKind, IpStats, LaneBuffer, SystemAgent, Task};
 
 use crate::config::{SchedPolicy, Scheme, SystemConfig};
@@ -64,9 +64,20 @@ pub enum Ev {
 /// CPU task payloads.
 #[derive(Debug, Clone, Copy)]
 enum CpuPayload {
-    Prep { flow: usize, dispatch: usize },
-    Setup { flow: usize, dispatch: usize, stage: usize },
-    Irq { flow: usize, dispatch: usize, stage: usize },
+    Prep {
+        flow: usize,
+        dispatch: usize,
+    },
+    Setup {
+        flow: usize,
+        dispatch: usize,
+        stage: usize,
+    },
+    Irq {
+        flow: usize,
+        dispatch: usize,
+        stage: usize,
+    },
     Background,
     Rollback,
 }
@@ -184,10 +195,18 @@ pub struct SystemSim {
     mem: MemorySystem,
     agent: SystemAgent,
     dispatches: Vec<Dispatch>,
-    fetch_tags: std::collections::HashMap<u64, FetchTag>,
+    fetch_tags: FxHashMap<u64, FetchTag>,
     next_tag: u64,
     mem_tick_at: Option<SimTime>,
     kick_queue: Vec<usize>,
+    /// Per-IP "already in `kick_queue`" flag — O(1) dedup instead of a
+    /// linear scan on every kick.
+    kick_queued: Vec<bool>,
+    /// Scratch buffers reused across events so the hot path allocates
+    /// nothing in steady state.
+    scratch_eligible: Vec<usize>,
+    scratch_chain: Vec<IpKind>,
+    scratch_completions: Vec<Completion>,
     interrupts: u64,
     /// Burst rollbacks performed (paper Fig 11).
     pub rollbacks: u64,
@@ -277,10 +296,14 @@ impl SystemSim {
             mem: MemorySystem::new(cfg.dram.clone()),
             agent: SystemAgent::new(cfg.agent.clone()),
             dispatches: Vec::new(),
-            fetch_tags: std::collections::HashMap::new(),
+            fetch_tags: FxHashMap::default(),
             next_tag: 0,
             mem_tick_at: None,
             kick_queue: Vec::new(),
+            kick_queued: vec![false; IpKind::ALL.len()],
+            scratch_eligible: Vec::new(),
+            scratch_chain: Vec::new(),
+            scratch_completions: Vec::new(),
             interrupts: 0,
             rollbacks: 0,
             buffer_bytes_streamed: 0,
@@ -312,7 +335,9 @@ impl SystemSim {
             let ncpus = engine.model().cpus.len();
             for c in 0..ncpus {
                 let phase = SimDelta::from_ns(bg.period.as_ns() * c as u64 / ncpus as u64);
-                engine.scheduler().at(SimTime::ZERO + phase, Ev::Background { cpu: c });
+                engine
+                    .scheduler()
+                    .at(SimTime::ZERO + phase, Ev::Background { cpu: c });
             }
         }
         engine.run_until(end);
@@ -347,7 +372,9 @@ impl SystemSim {
             for c in 0..ncpus {
                 // Stagger cores so background work is spread out.
                 let phase = SimDelta::from_ns(bg.period.as_ns() * c as u64 / ncpus as u64);
-                engine.scheduler().at(SimTime::ZERO + phase, Ev::Background { cpu: c });
+                engine
+                    .scheduler()
+                    .at(SimTime::ZERO + phase, Ev::Background { cpu: c });
             }
         }
         engine.run_until(end);
@@ -384,7 +411,8 @@ impl SystemSim {
     }
 
     fn kick(&mut self, ip: usize) {
-        if !self.kick_queue.contains(&ip) {
+        if !self.kick_queued[ip] {
+            self.kick_queued[ip] = true;
             self.kick_queue.push(ip);
         }
     }
@@ -392,6 +420,9 @@ impl SystemSim {
     fn drain_kicks(&mut self, sched: &mut Scheduler<Ev>) {
         let mut guard = 0u32;
         while let Some(ip) = self.kick_queue.pop() {
+            // Clear before pumping: a kick raised *during* the pump must
+            // re-enqueue the IP, exactly as the old linear-scan dedup did.
+            self.kick_queued[ip] = false;
             self.pump_ip(ip, sched);
             guard += 1;
             assert!(guard < 100_000, "kick storm: pipeline livelock");
@@ -424,12 +455,12 @@ impl SystemSim {
             CpuPayload::Rollback => None,
         };
         if let Some(dispatch) = dispatch {
-            let d = &self.dispatches[dispatch];
-            let share = ns / d.frames.len().max(1) as u64;
-            let flow = d.flow;
-            let frames = d.frames.clone();
-            for f in frames {
-                self.flows[flow].records[f as usize].cpu_ns += share;
+            let n = self.dispatches[dispatch].frames.len();
+            let share = ns / n.max(1) as u64;
+            let flow = self.dispatches[dispatch].flow;
+            for i in 0..n {
+                let f = self.dispatches[dispatch].frames[i] as usize;
+                self.flows[flow].records[f].cpu_ns += share;
             }
         }
         let task = Task {
@@ -509,8 +540,7 @@ impl SystemSim {
         // schedule ones, whose nominal times lie in the future).
         {
             let f = &mut self.flows[flow_idx];
-            let deadline_delta =
-                SimDelta::from_secs_f64(f.spec.deadline_periods / f.spec.fps);
+            let deadline_delta = SimDelta::from_secs_f64(f.spec.deadline_periods / f.spec.fps);
             let max_new = to_dispatch
                 .iter()
                 .copied()
@@ -758,7 +788,9 @@ impl SystemSim {
     /// (chained schemes).
     fn enqueue_chained(&mut self, flow: usize, dispatch: usize, sched: &mut Scheduler<Ev>) {
         let stages = self.flows[flow].spec.num_stages();
-        let chain: Vec<IpKind> = self.flows[flow].spec.stages.iter().map(|s| s.ip).collect();
+        let mut chain = std::mem::take(&mut self.scratch_chain);
+        chain.clear();
+        chain.extend(self.flows[flow].spec.stages.iter().map(|s| s.ip));
         let frame_bytes = self.flows[flow].spec.footprint(0);
         let burst = self.dispatches[dispatch].frames.len() as u32;
         let header = HeaderPacket::new(
@@ -777,6 +809,7 @@ impl SystemSim {
                 .push_back(WorkItem { dispatch, stage: s });
             self.kick(ip);
         }
+        self.scratch_chain = chain;
     }
 
     // ------------------------------------------------------------------
@@ -890,8 +923,7 @@ impl SystemSim {
             // reference frame larger than the output); the prefetch window
             // must always cover the next round's need or the round could
             // never become eligible.
-            let side_need =
-                Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
+            let side_need = Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
             let side_window = (2 * sub).max(side_need + sub);
             let want_side = item.side_requested < item.side_total
                 && item.side_requested - item.side_consumed < side_window;
@@ -1037,10 +1069,15 @@ impl SystemSim {
 
     /// Wakes producers blocked emitting into `ip`.
     fn wake_waiters(&mut self, ip: usize) {
-        let waiters = std::mem::take(&mut self.ips[ip].waiters);
-        for (pip, _plane) in waiters {
+        let mut waiters = std::mem::take(&mut self.ips[ip].waiters);
+        for &(pip, _plane) in &waiters {
             self.kick(pip);
         }
+        // Hand the buffer back so its capacity is reused. `kick` never
+        // registers waiters, so nothing was added behind our back.
+        debug_assert!(self.ips[ip].waiters.is_empty());
+        waiters.clear();
+        self.ips[ip].waiters = waiters;
     }
 
     /// Picks and starts the next compute round on an idle IP engine.
@@ -1049,7 +1086,8 @@ impl SystemSim {
             return;
         }
         let nlanes = self.ips[ip].lanes.len();
-        let mut eligible: Vec<usize> = Vec::new();
+        let mut eligible = std::mem::take(&mut self.scratch_eligible);
+        eligible.clear();
         for lane in 0..nlanes {
             let Some(item) = self.ips[ip].lanes[lane].active.as_ref() else {
                 continue;
@@ -1072,6 +1110,7 @@ impl SystemSim {
             }
         }
         if eligible.is_empty() {
+            self.scratch_eligible = eligible;
             return;
         }
 
@@ -1104,6 +1143,7 @@ impl SystemSim {
                     .expect("nonempty")
             }
         };
+        self.scratch_eligible = eligible;
 
         // Consume the round's input.
         let need = {
@@ -1128,8 +1168,7 @@ impl SystemSim {
         }
         {
             let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-            let need_side =
-                Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
+            let need_side = Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
             item.side_ready -= need_side;
             item.side_consumed += need_side;
         }
@@ -1165,7 +1204,10 @@ impl SystemSim {
     fn on_compute_done(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
         self.ips[ip].engine_busy = false;
         {
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("compute item");
+            let item = self.ips[ip].lanes[lane]
+                .active
+                .as_mut()
+                .expect("compute item");
             let r = item.rounds_computed;
             item.rounds_computed += 1;
             item.out_pending += Self::round_part(item.out_total, item.n_rounds, r);
@@ -1180,7 +1222,10 @@ impl SystemSim {
     fn complete_frame(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let (flow, stage, dispatch, frame, begin, footprint, item_done) = {
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("frame item");
+            let item = self.ips[ip].lanes[lane]
+                .active
+                .as_mut()
+                .expect("frame item");
             let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
             let begin = item.frame_begin.take().unwrap_or(now);
             let fp = item.in_total.max(item.out_total);
@@ -1194,9 +1239,7 @@ impl SystemSim {
         self.flows[flow].records[frame as usize].stage_spans[stage] = Some((begin, now));
         self.dispatches[dispatch].stage_done[stage] += 1;
         // FrameBurst doorbell: the next stage may now start this frame.
-        if self.cfg.scheme == Scheme::FrameBurst
-            && stage + 1 < self.flows[flow].spec.num_stages()
-        {
+        if self.cfg.scheme == Scheme::FrameBurst && stage + 1 < self.flows[flow].spec.num_stages() {
             let next_ip = self.flows[flow].spec.stages[stage + 1].ip.index();
             self.kick(next_ip);
         }
@@ -1208,7 +1251,11 @@ impl SystemSim {
         }
 
         if item_done {
-            let holds = self.ips[ip].lanes[lane].active.as_ref().expect("x").holds_active;
+            let holds = self.ips[ip].lanes[lane]
+                .active
+                .as_ref()
+                .expect("x")
+                .holds_active;
             if holds {
                 self.ips[ip].stats.set_active(now, false);
             }
@@ -1251,7 +1298,10 @@ impl SystemSim {
         if self.mem_tick_at == Some(now) {
             self.mem_tick_at = None;
         }
-        for c in self.mem.collect_completions(now) {
+        let mut completions = std::mem::take(&mut self.scratch_completions);
+        completions.clear();
+        self.mem.collect_completions_into(now, &mut completions);
+        for c in completions.drain(..) {
             if c.tag == WRITE_TAG {
                 continue;
             }
@@ -1267,6 +1317,7 @@ impl SystemSim {
                 self.kick(tag.ip);
             }
         }
+        self.scratch_completions = completions;
         self.ensure_mem_tick(sched);
         self.drain_kicks(sched);
     }
@@ -1335,8 +1386,7 @@ impl SystemSim {
             ));
             all_ft_samples.extend(ft_samples);
             if fr.frames_completed > 0 {
-                fr.avg_flow_time =
-                    SimDelta::from_ns((ft_sum / fr.frames_completed as u128) as u64);
+                fr.avg_flow_time = SimDelta::from_ns((ft_sum / fr.frames_completed as u128) as u64);
             }
             if fr.frames_sourced > 0 {
                 fr.avg_cpu_per_frame =
@@ -1371,11 +1421,9 @@ impl SystemSim {
         // Separate the media subsystem's CPU energy from the synthetic
         // background load's active energy.
         let cpu_energy_total: f64 = self.cpus.iter().map(|c| c.energy_j()).sum();
-        let background_cpu_j =
-            self.bg_active_ns as f64 / 1e9 * self.cfg.cpu.active_mw * 1e-3;
+        let background_cpu_j = self.bg_active_ns as f64 / 1e9 * self.cfg.cpu.active_mw * 1e-3;
         let cpu_energy = (cpu_energy_total - background_cpu_j).max(0.0);
-        let buffer_spec =
-            cacti_lite::SramSpec::new(self.cfg.buffer_bytes_per_lane.max(64), 64);
+        let buffer_spec = cacti_lite::SramSpec::new(self.cfg.buffer_bytes_per_lane.max(64), 64);
         let buffer_j = buffer_spec.stream_energy_nj(self.buffer_bytes_streamed) * 1e-9;
 
         let peak = self.cfg.dram.peak_bandwidth_gbps();
@@ -1559,7 +1607,11 @@ mod tests {
         let rep = run(Scheme::Vip, flows);
         assert!(rep.frames_completed > 0);
         // Both flows share VD and DC; EDF must interleave them.
-        let vd = rep.ips.iter().find(|r| r.kind == IpKind::Vd).expect("VD used");
+        let vd = rep
+            .ips
+            .iter()
+            .find(|r| r.kind == IpKind::Vd)
+            .expect("VD used");
         assert!(vd.frames > 0);
     }
 
@@ -1672,7 +1724,11 @@ mod tests {
             .flat_map(|t| &t.records)
             .filter(|r| r.finished.is_some())
             .count() as u64;
-        assert!(finished >= rep.frames_completed, "{finished} vs {}", rep.frames_completed);
+        assert!(
+            finished >= rep.frames_completed,
+            "{finished} vs {}",
+            rep.frames_completed
+        );
         // Stage spans are causally ordered within each record.
         for t in &traces {
             for r in &t.records {

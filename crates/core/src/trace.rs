@@ -35,11 +35,9 @@ impl FlowTrace {
             }
             for (name, span) in self.stage_names.iter().zip(&r.stage_spans) {
                 match span {
-                    Some((b, e)) => out.push_str(&format!(
-                        "  {name}[{:.3}-{:.3}]",
-                        b.as_ms(),
-                        e.as_ms()
-                    )),
+                    Some((b, e)) => {
+                        out.push_str(&format!("  {name}[{:.3}-{:.3}]", b.as_ms(), e.as_ms()))
+                    }
                     None => out.push_str(&format!("  {name}[-]")),
                 }
             }
@@ -149,11 +147,7 @@ mod tests {
     use desim::SimDelta;
 
     fn record(src_ms: u64, fin_ms: Option<u64>, deadline_ms: u64) -> FrameRecord {
-        let mut r = FrameRecord::new(
-            SimTime::from_ms(src_ms),
-            SimTime::from_ms(deadline_ms),
-            1,
-        );
+        let mut r = FrameRecord::new(SimTime::from_ms(src_ms), SimTime::from_ms(deadline_ms), 1);
         r.dispatched = Some(SimTime::from_ms(src_ms));
         if let Some(f) = fin_ms {
             r.stage_spans[0] = Some((SimTime::from_ms(src_ms), SimTime::from_ms(f)));
@@ -176,15 +170,11 @@ mod tests {
         let trace = FlowTrace {
             name: "vid".into(),
             stage_names: vec!["VD"],
-            records: vec![
-                record(0, Some(10), 16),
-                record(16, Some(40), 33),
-                {
-                    let mut r = record(33, None, 50);
-                    r.dropped_at_source = true;
-                    r
-                },
-            ],
+            records: vec![record(0, Some(10), 16), record(16, Some(40), 33), {
+                let mut r = record(33, None, 50);
+                r.dropped_at_source = true;
+                r
+            }],
         };
         let s = trace.render(10);
         assert!(s.contains("(ok,"), "{s}");
@@ -199,11 +189,7 @@ mod tests {
             name: "vid".into(),
             stage_names: vec!["VD", "DC"],
             records: vec![{
-                let mut r = FrameRecord::new(
-                    SimTime::ZERO,
-                    SimTime::from_ms(16),
-                    2,
-                );
+                let mut r = FrameRecord::new(SimTime::ZERO, SimTime::from_ms(16), 2);
                 r.dispatched = Some(SimTime::ZERO);
                 r.stage_spans[0] = Some((SimTime::from_ms(1), SimTime::from_ms(5)));
                 r.stage_spans[1] = Some((SimTime::from_ms(5), SimTime::from_ms(9)));
@@ -219,7 +205,9 @@ mod tests {
         let line = g.lines().nth(1).unwrap();
         assert!(line.find('0').unwrap() < line.find('1').unwrap());
         // Empty ranges are handled.
-        assert!(trace.render_gantt(10, 5, SimDelta::from_ms(1)).contains("no frames"));
+        assert!(trace
+            .render_gantt(10, 5, SimDelta::from_ms(1))
+            .contains("no frames"));
     }
 
     #[test]

@@ -41,8 +41,7 @@ fn vip_lane_oversubscription() {
 #[test]
 fn eight_flows_every_scheme() {
     for &scheme in &Scheme::ALL {
-        let flows: Vec<FlowSpec> =
-            (0..8).map(|i| tiny_video(&format!("v{i}"), 30.0)).collect();
+        let flows: Vec<FlowSpec> = (0..8).map(|i| tiny_video(&format!("v{i}"), 30.0)).collect();
         let rep = SystemSim::run(cfg(scheme, 250), flows);
         assert!(rep.frames_completed > 0, "{scheme} stalled");
     }
@@ -97,7 +96,10 @@ fn sub_subframe_frames() {
         .build();
     for &scheme in &Scheme::ALL {
         let rep = SystemSim::run(cfg(scheme, 150), vec![flow.clone()]);
-        assert!(rep.frames_completed > 0, "{scheme} lost sub-subframe frames");
+        assert!(
+            rep.frames_completed > 0,
+            "{scheme} lost sub-subframe frames"
+        );
     }
 }
 
@@ -177,7 +179,10 @@ fn minimal_lane_buffers() {
 
     let mut bad = cfg(Scheme::Vip, 100);
     bad.buffer_bytes_per_lane = bad.subframe_bytes;
-    assert!(bad.validate().is_err(), "1-subframe buffers must be rejected");
+    assert!(
+        bad.validate().is_err(),
+        "1-subframe buffers must be rejected"
+    );
 }
 
 /// Sensor flow at the queue limit: accumulation bursts never exceed the

@@ -1,9 +1,10 @@
 //! Property-based tests of the full-system simulator: frame conservation,
 //! causal ordering of per-frame records, and cross-scheme invariants that
 //! must hold for *any* flow geometry — not just the paper's workloads.
+//! Uses the in-repo [`desim::check`] harness (seeded random cases).
 
-use desim::SimDelta;
-use proptest::prelude::*;
+use desim::check::{forall, vec_of};
+use desim::{SimDelta, SplitMix64};
 use soc::IpKind;
 use vip_core::{FlowSpec, Scheme, SystemConfig, SystemSim};
 
@@ -20,24 +21,22 @@ struct FlowGeom {
     fps_decihz: u64,
 }
 
-fn arb_flow() -> impl Strategy<Value = FlowGeom> {
-    (
-        prop::collection::vec((0usize..MID_IPS.len(), 50_000u64..2_000_000), 1..3),
-        0usize..SINK_IPS.len(),
-        10_000u64..500_000,
-        150u64..600, // 15..60 fps
-    )
-        .prop_map(|(mut stages, sink, src_bytes, fps_decihz)| {
-            // A flow may visit an IP at most once (FlowSpec::validate).
-            let mut seen = [false; MID_IPS.len()];
-            stages.retain(|&(ip, _)| !std::mem::replace(&mut seen[ip], true));
-            FlowGeom {
-                stages,
-                sink,
-                src_bytes,
-                fps_decihz,
-            }
-        })
+fn arb_flow(rng: &mut SplitMix64) -> FlowGeom {
+    let mut stages = vec_of(rng, 1, 3, |r| {
+        (
+            r.below(MID_IPS.len() as u64) as usize,
+            r.range(50_000, 2_000_000),
+        )
+    });
+    // A flow may visit an IP at most once (FlowSpec::validate).
+    let mut seen = [false; MID_IPS.len()];
+    stages.retain(|&(ip, _)| !std::mem::replace(&mut seen[ip], true));
+    FlowGeom {
+        stages,
+        sink: rng.below(SINK_IPS.len() as u64) as usize,
+        src_bytes: rng.range(10_000, 500_000),
+        fps_decihz: rng.range(150, 600), // 15..60 fps
+    }
 }
 
 fn build(flows: &[FlowGeom]) -> Vec<FlowSpec> {
@@ -64,88 +63,104 @@ fn run(scheme: Scheme, flows: Vec<FlowSpec>) -> vip_core::SystemReport {
     SystemSim::run(cfg, flows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Frames are conserved under every scheme: completed + dropped never
-    /// exceeds sourced, and something always completes on an uncontended
-    /// horizon.
-    #[test]
-    fn frame_conservation(geoms in prop::collection::vec(arb_flow(), 1..3)) {
+/// Frames are conserved under every scheme: completed + dropped never
+/// exceeds sourced, and something always completes on an uncontended
+/// horizon.
+#[test]
+fn frame_conservation() {
+    forall("frame conservation", 12, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
         for &scheme in &Scheme::ALL {
             let rep = run(scheme, build(&geoms));
-            prop_assert!(rep.frames_completed + rep.frames_dropped_at_source
-                <= rep.frames_sourced,
+            assert!(
+                rep.frames_completed + rep.frames_dropped_at_source <= rep.frames_sourced,
                 "{scheme}: {} + {} > {}",
-                rep.frames_completed, rep.frames_dropped_at_source, rep.frames_sourced);
-            prop_assert!(rep.frames_completed > 0, "{scheme}: nothing completed");
+                rep.frames_completed,
+                rep.frames_dropped_at_source,
+                rep.frames_sourced
+            );
+            assert!(rep.frames_completed > 0, "{scheme}: nothing completed");
             // Per-flow counts sum to the system counts.
             let by_flow: u64 = rep.flows.iter().map(|f| f.frames_completed).sum();
-            prop_assert_eq!(by_flow, rep.frames_completed);
+            assert_eq!(by_flow, rep.frames_completed);
         }
-    }
+    });
+}
 
-    /// Energy accounting is internally consistent: all components are
-    /// nonnegative, and chained schemes move strictly less DRAM data than
-    /// the baseline for multi-stage flows.
-    #[test]
-    fn energy_and_traffic_invariants(geoms in prop::collection::vec(arb_flow(), 1..3)) {
+/// Energy accounting is internally consistent: all components are
+/// nonnegative, and chained schemes move strictly less DRAM data than
+/// the baseline for multi-stage flows.
+#[test]
+fn energy_and_traffic_invariants() {
+    forall("energy invariants", 12, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
         let base = run(Scheme::Baseline, build(&geoms));
         let vip = run(Scheme::Vip, build(&geoms));
         for rep in [&base, &vip] {
-            prop_assert!(rep.energy.cpu_j >= 0.0);
-            prop_assert!(rep.energy.dram_j > 0.0, "background power always accrues");
-            prop_assert!(rep.energy.ip_j >= 0.0);
-            prop_assert!(rep.energy.total_j().is_finite());
+            assert!(rep.energy.cpu_j >= 0.0);
+            assert!(rep.energy.dram_j > 0.0, "background power always accrues");
+            assert!(rep.energy.ip_j >= 0.0);
+            assert!(rep.energy.total_j().is_finite());
         }
-        prop_assert!(vip.mem_bytes < base.mem_bytes,
-            "chained {} !< baseline {}", vip.mem_bytes, base.mem_bytes);
-        prop_assert!(vip.sa_bytes > 0, "chained data must cross the SA");
-    }
+        assert!(
+            vip.mem_bytes < base.mem_bytes,
+            "chained {} !< baseline {}",
+            vip.mem_bytes,
+            base.mem_bytes
+        );
+        assert!(vip.sa_bytes > 0, "chained data must cross the SA");
+    });
+}
 
-    /// Interrupt counts follow the architecture: chained schemes raise at
-    /// most one interrupt per dispatch while non-chained schemes raise one
-    /// per stage per dispatch.
-    #[test]
-    fn interrupt_counts(geoms in prop::collection::vec(arb_flow(), 1..2)) {
+/// Interrupt counts follow the architecture: chained schemes raise at
+/// most one interrupt per dispatch while non-chained schemes raise one
+/// per stage per dispatch.
+#[test]
+fn interrupt_counts() {
+    forall("interrupt counts", 12, |rng| {
+        let geoms = vec![arb_flow(rng)];
         let base = run(Scheme::Baseline, build(&geoms));
         let chained = run(Scheme::IpToIp, build(&geoms));
         let stages = (geoms[0].stages.len() + 1) as u64;
         // Both dispatch per frame; the baseline interrupts per stage.
-        prop_assert!(base.interrupts >= chained.interrupts,
-            "baseline {} < chained {}", base.interrupts, chained.interrupts);
+        assert!(
+            base.interrupts >= chained.interrupts,
+            "baseline {} < chained {}",
+            base.interrupts,
+            chained.interrupts
+        );
         if stages > 1 {
-            prop_assert!(base.interrupts > chained.interrupts);
+            assert!(base.interrupts > chained.interrupts);
         }
-    }
+    });
+}
 
-    /// Per-frame records are causally ordered: dispatch ≤ every stage
-    /// begin ≤ its end, stage completions are ordered along the chain, and
-    /// the finish equals the last stage's end.
-    #[test]
-    fn record_causality(geoms in prop::collection::vec(arb_flow(), 1..2), scheme_idx in 0usize..5) {
-        let scheme = Scheme::ALL[scheme_idx];
-        let mut cfg = SystemConfig::table3(scheme);
-        cfg.duration = SimDelta::from_ms(150);
-        cfg.background = None;
-        let sim = SystemSim::new(cfg, build(&geoms));
-        // Run through the public entry point for the records themselves:
-        drop(sim);
+/// Per-frame records are causally ordered: dispatch ≤ every stage
+/// begin ≤ its end, stage completions are ordered along the chain, and
+/// the finish equals the last stage's end.
+#[test]
+fn record_causality() {
+    forall("record causality", 12, |rng| {
+        let geoms = vec![arb_flow(rng)];
+        let scheme = Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize];
         let rep = run(scheme, build(&geoms));
         for f in &rep.flows {
-            prop_assert!(f.avg_flow_time >= SimDelta::ZERO);
+            assert!(f.avg_flow_time >= SimDelta::ZERO);
         }
         // Flow time is bounded by the simulated horizon.
-        prop_assert!(rep.avg_flow_time <= SimDelta::from_ms(150));
-    }
+        assert!(rep.avg_flow_time <= SimDelta::from_ms(150));
+    });
+}
 
-    /// Determinism holds for arbitrary geometries.
-    #[test]
-    fn determinism(geoms in prop::collection::vec(arb_flow(), 1..3)) {
+/// Determinism holds for arbitrary geometries.
+#[test]
+fn determinism() {
+    forall("determinism", 12, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
         let a = run(Scheme::Vip, build(&geoms));
         let b = run(Scheme::Vip, build(&geoms));
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.frames_completed, b.frames_completed);
-        prop_assert!((a.energy.total_j() - b.energy.total_j()).abs() < 1e-12);
-    }
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.frames_completed, b.frames_completed);
+        assert!((a.energy.total_j() - b.energy.total_j()).abs() < 1e-12);
+    });
 }

@@ -133,12 +133,12 @@ impl<E> CalendarQueue<E> {
         // lives in that window, fall back to a global minimum scan (the
         // population is sparse relative to the geometry).
         let nbuckets = self.buckets.len();
-        let start_bucket = (self.cursor_ns / self.width) as usize;
+        let start_year = self.cursor_ns / self.width;
         let mut best: Option<(u64, u64, usize, usize)> = None; // (at, seq, bucket, idx)
 
         for offset in 0..nbuckets {
-            let year_base = self.cursor_ns / self.width + offset as u64;
-            let b = (start_bucket + offset) % nbuckets;
+            let year_base = start_year + offset as u64;
+            let b = (year_base as usize) % nbuckets;
             let window_end = (year_base + 1) * self.width;
             for (i, e) in self.buckets[b].iter().enumerate() {
                 let ns = e.at.as_ns();
@@ -152,6 +152,11 @@ impl<E> CalendarQueue<E> {
             if best.is_some() {
                 break;
             }
+            // The window [year_base·width, window_end) proved empty, and
+            // times in it hash only to bucket `b` — advance the cursor
+            // past it for good, so later pops (and the pops of a sparse
+            // far-future population) never re-scan exhausted windows.
+            self.cursor_ns = window_end;
         }
 
         if best.is_none() {
@@ -215,6 +220,62 @@ mod tests {
         q.push(SimTime::from_ns(1), "near");
         assert_eq!(q.pop().unwrap().1, "near");
         assert_eq!(q.pop().unwrap().1, "far");
+    }
+
+    #[test]
+    fn cursor_advance_skips_exhausted_windows_without_losing_events() {
+        // Regression: a sparse far-future population used to leave the
+        // cursor behind after every pop, re-scanning the same provably
+        // empty windows each time. The advance must also never skip a
+        // live event, including pushes that land behind the new cursor.
+        let mut q = CalendarQueue::with_geometry(4, 10);
+        q.push(SimTime::from_ns(5), 1);
+        q.push(SimTime::from_ns(100_000), 2); // thousands of empty windows away
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.cursor_ns >= 5, "cursor tracks the last pop");
+        // A push between cursor and the far event is still found first.
+        q.push(SimTime::from_ns(50_000), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.cursor_ns >= 40, "empty windows were skipped for good");
+        assert_eq!(q.pop().unwrap().1, 2);
+        // A push behind the advanced cursor resets it (push-side rule).
+        q.push(SimTime::from_ns(7), 4);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sparse_far_future_pops_stay_ordered_under_interleaving() {
+        // Sparse far-future regression over a stream: pops interleaved
+        // with pushes around the (advancing) cursor always come out in
+        // (time, insertion) order.
+        let mut q = CalendarQueue::with_geometry(8, 10);
+        let mut rng = crate::SplitMix64::new(0xCAFE);
+        let mut popped: Vec<u64> = Vec::new();
+        let mut pushed = 0u64;
+        for round in 0..200 {
+            // Mostly far-apart times, occasionally clustered ones.
+            let t = if rng.chance(0.2) {
+                rng.below(100)
+            } else {
+                rng.below(10_000_000)
+            };
+            q.push(SimTime::from_ns(t), pushed);
+            pushed += 1;
+            if round % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    popped.push(t.as_ns());
+                }
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            popped.push(t.as_ns());
+        }
+        assert_eq!(popped.len(), pushed as usize);
+        // Each drain segment is internally ordered; the final full drain
+        // (everything after the last interleaved pop) must be sorted.
+        let tail = &popped[popped.len() - 100..];
+        assert!(tail.windows(2).all(|w| w[0] <= w[1]), "drain out of order");
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! scheduled, and a run is a pure function of the model's initial state.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use crate::hash::FxHashSet;
 use crate::time::{SimDelta, SimTime};
 
 /// State plus event alphabet of a simulation.
@@ -64,8 +65,18 @@ impl<E> Ord for Entry<E> {
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
+    /// The earliest pending entry, held outside the heap. Invariant: when
+    /// `Some`, it fires before every heap entry. The dominant pattern in
+    /// frame chains — a handler schedules one follow-up into an otherwise
+    /// quiet calendar which then fires next — stays in this slot and never
+    /// touches the heap at all.
+    front: Option<Entry<E>>,
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Lazy-cancel tombstones. Uses the in-crate Fx hasher, and `pop`
+    /// skips the probe entirely while the set is empty — the common case,
+    /// since tombstones exist only between a `cancel` and the moment the
+    /// cancelled entry surfaces.
+    cancelled: FxHashSet<u64>,
     dispatched: u64,
 }
 
@@ -81,8 +92,9 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
+            front: None,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: FxHashSet::default(),
             dispatched: 0,
         }
     }
@@ -100,7 +112,7 @@ impl<E> Scheduler<E> {
     /// Number of events still pending (cancelled events may be counted until
     /// they are lazily discarded).
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() + usize::from(self.front.is_some()) - self.cancelled.len()
     }
 
     /// Schedules `ev` at the absolute instant `at`.
@@ -109,10 +121,34 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is in the past.
     pub fn at(&mut self, at: SimTime, ev: E) -> EventToken {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, ev });
+        let entry = Entry { at, seq, ev };
+        // A fresh entry always carries the largest seq, so it displaces the
+        // current minimum only by firing strictly earlier in time.
+        match &self.front {
+            None if self.heap.is_empty() => self.front = Some(entry),
+            None => {
+                if at < self.heap.peek().expect("non-empty").at {
+                    self.front = Some(entry);
+                } else {
+                    self.heap.push(entry);
+                }
+            }
+            Some(f) => {
+                if at < f.at {
+                    let old = self.front.replace(entry).expect("checked Some");
+                    self.heap.push(old);
+                } else {
+                    self.heap.push(entry);
+                }
+            }
+        }
         EventToken(seq)
     }
 
@@ -136,9 +172,20 @@ impl<E> Scheduler<E> {
         self.cancelled.insert(token.0)
     }
 
+    /// True iff `seq` carries a tombstone; consumes the tombstone. The
+    /// `is_empty` guard keeps the un-cancelled hot path free of hashing.
+    #[inline]
+    fn consume_tombstone(&mut self, seq: u64) -> bool {
+        !self.cancelled.is_empty() && self.cancelled.remove(&seq)
+    }
+
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+        loop {
+            let entry = match self.front.take() {
+                Some(f) => f,
+                None => self.heap.pop()?,
+            };
+            if self.consume_tombstone(entry.seq) {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "calendar went backwards");
@@ -146,16 +193,41 @@ impl<E> Scheduler<E> {
             self.dispatched += 1;
             return Some((entry.at, entry.ev));
         }
-        None
+    }
+
+    /// The instant of the next live (un-cancelled) event, if any.
+    /// Cancelled entries encountered on the way are discarded, so repeated
+    /// peeks stay cheap.
+    pub fn peek(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some(f) = &self.front {
+                let (at, seq) = (f.at, f.seq);
+                if self.consume_tombstone(seq) {
+                    self.front = None;
+                    continue;
+                }
+                return Some(at);
+            }
+            let head = self.heap.peek()?;
+            let (at, seq) = (head.at, head.seq);
+            if self.consume_tombstone(seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(at);
+        }
     }
 
     /// The instant of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        // Peek past cancelled entries without popping live ones: clone-free
-        // scan is not possible on a heap, so accept that a cancelled head
-        // makes this conservative (returns the cancelled head's time). The
-        // engine handles that by re-checking after pop.
-        self.heap.peek().map(|e| e.at)
+        // Without `&mut` we cannot discard cancelled heap heads, so a
+        // cancelled head makes this conservative (returns the cancelled
+        // head's time). The engine handles that by re-checking after pop;
+        // use [`Scheduler::peek`] for the exact answer.
+        match &self.front {
+            Some(f) => Some(f.at),
+            None => self.heap.peek().map(|e| e.at),
+        }
     }
 }
 
@@ -240,25 +312,16 @@ impl<M: Model> Engine<M> {
     }
 
     /// Runs until the calendar drains or the next event lies strictly after
-    /// `horizon`. Events at exactly `horizon` are dispatched.
+    /// `horizon`. Events at exactly `horizon` are dispatched; later ones
+    /// stay in place (peeked, never popped), keeping their original
+    /// insertion order for a later run.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
         loop {
-            match self.sched.pop() {
+            match self.sched.peek() {
                 None => return RunOutcome::Drained,
-                Some((at, ev)) => {
-                    if at > horizon {
-                        // Put it back; `at`/`seq` ordering is preserved by
-                        // rescheduling with a fresh seq *before* any same-time
-                        // event could have been scheduled (there are none:
-                        // nothing was dispatched).
-                        self.sched.heap.push(Entry {
-                            at,
-                            seq: self.sched.seq,
-                            ev,
-                        });
-                        self.sched.seq += 1;
-                        return RunOutcome::HorizonReached;
-                    }
+                Some(at) if at > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    let (_, ev) = self.sched.pop().expect("peeked event");
                     self.model.handle(ev, &mut self.sched);
                 }
             }
@@ -333,7 +396,10 @@ mod tests {
         eng.scheduler().at(SimTime::from_ns(10), 1);
         eng.scheduler().at(SimTime::from_ns(20), 2);
         eng.scheduler().at(SimTime::from_ns(30), 3);
-        assert_eq!(eng.run_until(SimTime::from_ns(20)), RunOutcome::HorizonReached);
+        assert_eq!(
+            eng.run_until(SimTime::from_ns(20)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(eng.model().seen, vec![(10, 1), (20, 2)]);
         // The 30ns event survives and fires on a later run.
         assert_eq!(eng.run(), RunOutcome::Drained);
@@ -393,6 +459,48 @@ mod tests {
         eng.run();
         assert_eq!(eng.now(), SimTime::from_ns(7000));
         assert_eq!(eng.scheduler().events_dispatched(), 1001);
+    }
+
+    #[test]
+    fn peek_skips_cancelled_and_is_exact() {
+        let mut eng = Engine::new(Recorder::default());
+        let first = eng.scheduler().at(SimTime::from_ns(5), 1);
+        eng.scheduler().at(SimTime::from_ns(9), 2);
+        assert_eq!(eng.scheduler().peek(), Some(SimTime::from_ns(5)));
+        eng.scheduler().cancel(first);
+        // Peek discards the tombstoned head and reports the live successor.
+        assert_eq!(eng.scheduler().peek(), Some(SimTime::from_ns(9)));
+        eng.run();
+        assert_eq!(eng.model().seen, vec![(9, 2)]);
+        assert_eq!(eng.scheduler().peek(), None);
+    }
+
+    #[test]
+    fn front_slot_interleaves_with_heap_in_order() {
+        // Schedule a pattern that repeatedly displaces the front slot and
+        // spills it into the heap; order must still be (time, seq).
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(50), 0); // front
+        eng.scheduler().at(SimTime::from_ns(40), 1); // displaces front
+        eng.scheduler().at(SimTime::from_ns(60), 2); // heap
+        eng.scheduler().at(SimTime::from_ns(40), 3); // same time, later seq
+        eng.scheduler().at(SimTime::from_ns(10), 4); // displaces front again
+        eng.run();
+        assert_eq!(
+            eng.model().seen,
+            vec![(10, 4), (40, 1), (40, 3), (50, 0), (60, 2)]
+        );
+    }
+
+    #[test]
+    fn cancelling_the_front_event_works() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(7), 1);
+        let front = eng.scheduler().at(SimTime::from_ns(3), 2); // sits in front slot
+        assert!(eng.scheduler().cancel(front));
+        assert!(!eng.scheduler().cancel(front), "double-cancel is false");
+        eng.run();
+        assert_eq!(eng.model().seen, vec![(7, 1)]);
     }
 
     #[test]

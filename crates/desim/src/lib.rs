@@ -45,12 +45,15 @@
 //! ```
 
 pub mod calendar;
+pub mod check;
 pub mod engine;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Engine, EventToken, Model, RunOutcome, Scheduler};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;
 pub use time::{SimDelta, SimTime};

@@ -480,8 +480,7 @@ impl Quantile {
             if (d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0) {
                 let sign = d.signum();
                 let parabolic = self.parabolic(i, sign);
-                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
                     parabolic
                 } else {
                     self.linear(i, sign)
@@ -503,8 +502,7 @@ impl Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// The current quantile estimate (exact for fewer than 5 samples; 0

@@ -177,11 +177,7 @@ impl Channel {
         let bank = &mut self.banks[burst.bank];
         let (outcome, row_latency, activated) = match bank.open_row {
             Some(r) if r == burst.row => (RowOutcome::Hit, desim::SimDelta::ZERO, false),
-            Some(_) => (
-                RowOutcome::Conflict,
-                self.cfg.t_rp + self.cfg.t_rcd,
-                true,
-            ),
+            Some(_) => (RowOutcome::Conflict, self.cfg.t_rp + self.cfg.t_rcd, true),
             None => (RowOutcome::Empty, self.cfg.t_rcd, true),
         };
 
@@ -194,7 +190,7 @@ impl Channel {
             self.standby_ns += self.cfg.t_powerdown_entry.as_ns();
             self.powerdown_ns += (gap - self.cfg.t_powerdown_entry).as_ns();
             self.powerdown_exits += 1;
-            t_cmd = t_cmd + self.cfg.t_xp;
+            t_cmd += self.cfg.t_xp;
         } else {
             self.standby_ns += gap.as_ns();
         }

@@ -120,8 +120,7 @@ mod tests {
         let m = mapper();
         // One row per bank holds 32 lines; channels*banks*lines_per_row
         // lines fit before the row index increments.
-        let lines_before_row_change =
-            cfg.channels as u64 * cfg.banks as u64 * cfg.lines_per_row();
+        let lines_before_row_change = cfg.channels as u64 * cfg.banks as u64 * cfg.lines_per_row();
         assert_eq!(m.place((lines_before_row_change - 1) * 64).row, 0);
         assert_eq!(m.place(lines_before_row_change * 64).row, 1);
     }
@@ -157,7 +156,10 @@ mod tests {
             let p = m.place(line * 64);
             // (channel, bank, row, column-within-row) must be unique; we
             // reconstruct the column from the line index.
-            assert!(seen.insert((p.channel, p.bank, p.row, line)), "dup at {line}");
+            assert!(
+                seen.insert((p.channel, p.bank, p.row, line)),
+                "dup at {line}"
+            );
         }
     }
 }

@@ -200,7 +200,7 @@ mod tests {
         let cfg = DramConfig::lpddr3_table3();
         let mut s = MemStats::new();
         s.busy_ns = 2_000_000; // 2 ms of bus time
-        // Over 1 ms on 4 channels = 4 ms of capacity → 50%.
+                               // Over 1 ms on 4 channels = 4 ms of capacity → 50%.
         assert!((s.bus_utilization(&cfg, SimTime::from_ms(1)) - 0.5).abs() < 1e-9);
     }
 }

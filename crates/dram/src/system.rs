@@ -1,8 +1,7 @@
 //! The full memory system: address mapping + per-channel controllers +
 //! request reassembly + statistics.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use desim::SimTime;
 
@@ -40,8 +39,15 @@ pub struct MemorySystem {
     channels: Vec<Channel>,
     parents: Vec<Parent>,
     free_parents: Vec<usize>,
-    // (burst completion time, seq, channel, parent, lines, outcome recorded at issue)
-    in_flight: BinaryHeap<Reverse<(SimTime, u64, usize, usize)>>,
+    /// Per-channel in-flight bursts, `(done, seq, parent)`. A channel's
+    /// data bus serializes its bursts, so each FIFO's `done` times are
+    /// nondecreasing and the global completion order — identical to the
+    /// old central heap's — is the `(done, seq)` merge of the FIFO fronts.
+    in_flight: Vec<VecDeque<(SimTime, u64, usize)>>,
+    /// Cached earliest in-flight completion `(done, seq, channel)`,
+    /// maintained incrementally on issue and recomputed (O(#channels))
+    /// only when the front burst retires.
+    earliest: Option<(SimTime, u64, usize)>,
     seq: u64,
     ready: Vec<Completion>,
     stats: MemStats,
@@ -56,14 +62,18 @@ impl MemorySystem {
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("invalid DRAM config");
         let mapper = AddressMapper::new(&cfg);
-        let channels = (0..cfg.channels).map(|_| Channel::new(cfg.clone())).collect();
+        let channels: Vec<Channel> = (0..cfg.channels)
+            .map(|_| Channel::new(cfg.clone()))
+            .collect();
+        let in_flight = (0..channels.len()).map(|_| VecDeque::new()).collect();
         MemorySystem {
             cfg,
             mapper,
             channels,
             parents: Vec::new(),
             free_parents: Vec::new(),
-            in_flight: BinaryHeap::new(),
+            in_flight,
+            earliest: None,
             seq: 0,
             ready: Vec::new(),
             stats: MemStats::new(),
@@ -159,12 +169,18 @@ impl MemorySystem {
                     self.stats.activates.incr();
                 }
                 self.stats.busy_ns += (self.cfg.t_line * issued.burst.lines).as_ns();
-                self.in_flight.push(Reverse((
-                    issued.done,
-                    self.seq,
-                    ci,
-                    issued.burst.parent,
-                )));
+                let fifo = &mut self.in_flight[ci];
+                debug_assert!(
+                    fifo.back().is_none_or(|&(d, ..)| d <= issued.done),
+                    "channel completions must be FIFO"
+                );
+                fifo.push_back((issued.done, self.seq, issued.burst.parent));
+                if self
+                    .earliest
+                    .is_none_or(|(d, s, _)| (issued.done, self.seq) < (d, s))
+                {
+                    self.earliest = Some((issued.done, self.seq, ci));
+                }
                 self.seq += 1;
             }
         }
@@ -193,13 +209,26 @@ impl MemorySystem {
     }
 
     /// The earliest instant at which a completion will be available, if any
-    /// work is pending.
+    /// work is pending. O(1): reads the incrementally maintained cache.
     pub fn next_completion_time(&self) -> Option<SimTime> {
-        let inflight = self.in_flight.peek().map(|Reverse((t, ..))| *t);
+        let inflight = self.earliest.map(|(t, ..)| t);
         let ready = self.ready.first().map(|c| c.at);
         match (inflight, ready) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
+        }
+    }
+
+    /// Recomputes the earliest-completion cache from the FIFO fronts —
+    /// O(#channels), needed only after the cached front burst retires.
+    fn refresh_earliest(&mut self) {
+        self.earliest = None;
+        for (ci, fifo) in self.in_flight.iter().enumerate() {
+            if let Some(&(d, s, _)) = fifo.front() {
+                if self.earliest.is_none_or(|(ed, es, _)| (d, s) < (ed, es)) {
+                    self.earliest = Some((d, s, ci));
+                }
+            }
         }
     }
 
@@ -208,13 +237,23 @@ impl MemorySystem {
     /// [`next_completion_time`](MemorySystem::next_completion_time) after
     /// calling this.
     pub fn collect_completions(&mut self, now: SimTime) -> Vec<Completion> {
-        let mut out = std::mem::take(&mut self.ready);
+        let mut out = Vec::new();
+        self.collect_completions_into(now, &mut out);
+        out
+    }
+
+    /// Like [`collect_completions`](MemorySystem::collect_completions),
+    /// but appends into a caller-owned buffer so a driving loop can reuse
+    /// one allocation across ticks.
+    pub fn collect_completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
+        out.append(&mut self.ready);
         let mut any_freed = false;
-        while let Some(&Reverse((t, _, ci, parent))) = self.in_flight.peek() {
+        while let Some((t, _, ci)) = self.earliest {
             if t > now {
                 break;
             }
-            self.in_flight.pop();
+            let (_, _, parent) = self.in_flight[ci].pop_front().expect("cached front exists");
+            self.refresh_earliest();
             self.channels[ci].service_complete();
             any_freed = true;
             let p = &mut self.parents[parent];
@@ -236,7 +275,6 @@ impl MemorySystem {
         if any_freed {
             self.pump(now);
         }
-        out
     }
 
     /// Runs the memory system until every submitted request has completed,
@@ -312,7 +350,10 @@ mod tests {
 
         let mut busy = system();
         for i in 0..50u64 {
-            busy.submit(SimTime::ZERO, MemRequest::new(i * 65536, 4096, MemOp::Write, 100 + i));
+            busy.submit(
+                SimTime::ZERO,
+                MemRequest::new(i * 65536, 4096, MemOp::Write, 100 + i),
+            );
         }
         busy.submit(SimTime::ZERO, MemRequest::new(0, 1024, MemOp::Read, 0));
         let done = busy.drain(SimTime::ZERO);
@@ -330,14 +371,20 @@ mod tests {
         let total: u64 = 32 * 1024 * 1024;
         let chunk = 4096u64;
         for i in 0..total / chunk {
-            mem.submit(SimTime::ZERO, MemRequest::new(i * chunk, chunk, MemOp::Read, i));
+            mem.submit(
+                SimTime::ZERO,
+                MemRequest::new(i * chunk, chunk, MemOp::Read, i),
+            );
         }
         let done = mem.drain(SimTime::ZERO);
         let finish = done.iter().map(|c| c.at).max().unwrap();
         let gbps = total as f64 / finish.as_secs() / 1e9;
         let peak = mem.config().peak_bandwidth_gbps();
         assert!(gbps < peak, "cannot exceed peak");
-        assert!(gbps > peak * 0.7, "sequential stream only {gbps:.1} GB/s of {peak} peak");
+        assert!(
+            gbps > peak * 0.7,
+            "sequential stream only {gbps:.1} GB/s of {peak} peak"
+        );
     }
 
     #[test]
@@ -347,13 +394,20 @@ mod tests {
             mem.submit(SimTime::ZERO, MemRequest::new(0, 64, MemOp::Read, round));
             mem.drain(SimTime::ZERO);
         }
-        assert!(mem.parents.len() <= 2, "parent table grew: {}", mem.parents.len());
+        assert!(
+            mem.parents.len() <= 2,
+            "parent table grew: {}",
+            mem.parents.len()
+        );
     }
 
     #[test]
     fn bandwidth_timeline_is_recorded() {
         let mut mem = system();
-        mem.submit(SimTime::from_us(100), MemRequest::new(0, 1 << 20, MemOp::Read, 0));
+        mem.submit(
+            SimTime::from_us(100),
+            MemRequest::new(0, 1 << 20, MemOp::Read, 0),
+        );
         mem.drain(SimTime::from_us(100));
         let w = mem.stats().bandwidth_windows_gbps(SimTime::from_ms(1));
         assert_eq!(w.len(), 1);

@@ -1,98 +1,120 @@
 //! Property-based tests of the memory system: conservation of requests,
 //! latency lower bounds, monotone completion order, and mapping soundness.
+//! Uses the in-repo [`desim::check`] harness (seeded random cases).
 
+use desim::check::{forall, vec_of};
 use desim::SimTime;
 use dram::{AddressMapper, DramConfig, MemOp, MemRequest, MemorySystem};
-use proptest::prelude::*;
 
-fn arb_request(i: u64) -> impl Strategy<Value = MemRequest> {
-    (0u64..1 << 24, 1u64..8192, any::<bool>()).prop_map(move |(addr, bytes, write)| {
-        MemRequest::new(
-            addr,
-            bytes,
-            if write { MemOp::Write } else { MemOp::Read },
-            i,
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every submitted request completes exactly once, regardless of mix.
-    #[test]
-    fn conservation_of_requests(reqs in prop::collection::vec((0u64..1 << 22, 1u64..4096), 1..60)) {
+/// Every submitted request completes exactly once, regardless of mix.
+#[test]
+fn conservation_of_requests() {
+    forall("conservation", 64, |rng| {
+        let reqs = vec_of(rng, 1, 60, |r| (r.below(1 << 22), r.range(1, 4096)));
         let mut mem = MemorySystem::new(DramConfig::lpddr3_table3());
         for (i, &(addr, bytes)) in reqs.iter().enumerate() {
-            mem.submit(SimTime::ZERO, MemRequest::new(addr, bytes, MemOp::Read, i as u64));
+            mem.submit(
+                SimTime::ZERO,
+                MemRequest::new(addr, bytes, MemOp::Read, i as u64),
+            );
         }
         let done = mem.drain(SimTime::ZERO);
         let mut tags: Vec<u64> = done.iter().map(|c| c.tag).collect();
         tags.sort_unstable();
-        prop_assert_eq!(tags, (0..reqs.len() as u64).collect::<Vec<_>>());
-    }
+        assert_eq!(tags, (0..reqs.len() as u64).collect::<Vec<_>>());
+    });
+}
 
-    /// No request finishes faster than its minimum possible service time
-    /// (CAS latency plus its own data transfer on one channel).
-    #[test]
-    fn latency_lower_bound(req in arb_request(0)) {
+/// No request finishes faster than its minimum possible service time
+/// (CAS latency plus its own data transfer on one channel).
+#[test]
+fn latency_lower_bound() {
+    forall("latency floor", 64, |rng| {
+        let addr = rng.below(1 << 24);
+        let bytes = rng.range(1, 8192);
+        let op = if rng.chance(0.5) {
+            MemOp::Write
+        } else {
+            MemOp::Read
+        };
+        let req = MemRequest::new(addr, bytes, op, 0);
         let cfg = DramConfig::lpddr3_table3();
         let mut mem = MemorySystem::new(cfg.clone());
         mem.submit(SimTime::ZERO, req);
         let done = mem.drain(SimTime::ZERO);
-        prop_assert_eq!(done.len(), 1);
+        assert_eq!(done.len(), 1);
         // Weakest bound: CAS + the time to move the largest same-place burst.
         let lines = req.bytes.div_ceil(cfg.line_bytes);
         let max_lines_per_place = lines.div_ceil((cfg.channels * cfg.banks) as u64);
         let min_ns = cfg.t_cl.as_ns() + cfg.t_line.as_ns() * max_lines_per_place;
-        prop_assert!(done[0].latency_ns() >= min_ns,
-            "latency {} below floor {}", done[0].latency_ns(), min_ns);
-    }
+        assert!(
+            done[0].latency_ns() >= min_ns,
+            "latency {} below floor {}",
+            done[0].latency_ns(),
+            min_ns
+        );
+    });
+}
 
-    /// The ideal memory completes everything at submission time.
-    #[test]
-    fn ideal_memory_is_instant(reqs in prop::collection::vec((0u64..1 << 22, 1u64..4096), 1..30)) {
+/// The ideal memory completes everything at submission time.
+#[test]
+fn ideal_memory_is_instant() {
+    forall("ideal memory", 64, |rng| {
+        let reqs = vec_of(rng, 1, 30, |r| (r.below(1 << 22), r.range(1, 4096)));
         let mut mem = MemorySystem::new(DramConfig::ideal());
         let t = SimTime::from_us(3);
         for (i, &(addr, bytes)) in reqs.iter().enumerate() {
             mem.submit(t, MemRequest::new(addr, bytes, MemOp::Read, i as u64));
         }
         let done = mem.collect_completions(t);
-        prop_assert_eq!(done.len(), reqs.len());
-        prop_assert!(done.iter().all(|c| c.at == t && c.latency_ns() == 0));
-    }
+        assert_eq!(done.len(), reqs.len());
+        assert!(done.iter().all(|c| c.at == t && c.latency_ns() == 0));
+    });
+}
 
-    /// Splitting a request covers exactly its lines, each line exactly once.
-    #[test]
-    fn split_is_a_partition(addr in 0u64..1 << 26, bytes in 1u64..1 << 16) {
+/// Splitting a request covers exactly its lines, each line exactly once.
+#[test]
+fn split_is_a_partition() {
+    forall("split partition", 256, |rng| {
+        let addr = rng.below(1 << 26);
+        let bytes = rng.range(1, 1 << 16);
         let cfg = DramConfig::lpddr3_table3();
         let mapper = AddressMapper::new(&cfg);
         let parts = mapper.split(addr, bytes, cfg.line_bytes);
         let expected = (addr + bytes - 1) / cfg.line_bytes - addr / cfg.line_bytes + 1;
         let total: u64 = parts.iter().map(|&(_, n)| n).sum();
-        prop_assert_eq!(total, expected);
+        assert_eq!(total, expected);
         // No two parts share a place.
         for i in 0..parts.len() {
             for j in i + 1..parts.len() {
-                prop_assert_ne!(parts[i].0, parts[j].0);
+                assert_ne!(parts[i].0, parts[j].0);
             }
         }
-    }
+    });
+}
 
-    /// Statistics byte counters equal the bytes submitted.
-    #[test]
-    fn stats_match_traffic(reqs in prop::collection::vec((0u64..1 << 22, 1u64..4096, any::<bool>()), 1..40)) {
+/// Statistics byte counters equal the bytes submitted.
+#[test]
+fn stats_match_traffic() {
+    forall("stats traffic", 64, |rng| {
+        let reqs = vec_of(rng, 1, 40, |r| {
+            (r.below(1 << 22), r.range(1, 4096), r.chance(0.5))
+        });
         let mut mem = MemorySystem::new(DramConfig::lpddr3_table3());
         let mut reads = 0u64;
         let mut writes = 0u64;
         for (i, &(addr, bytes, w)) in reqs.iter().enumerate() {
             let op = if w { MemOp::Write } else { MemOp::Read };
-            if w { writes += bytes } else { reads += bytes }
+            if w {
+                writes += bytes
+            } else {
+                reads += bytes
+            }
             mem.submit(SimTime::ZERO, MemRequest::new(addr, bytes, op, i as u64));
         }
         mem.drain(SimTime::ZERO);
-        prop_assert_eq!(mem.stats().bytes_read.get(), reads);
-        prop_assert_eq!(mem.stats().bytes_written.get(), writes);
-        prop_assert_eq!(mem.stats().requests.get(), reqs.len() as u64);
-    }
+        assert_eq!(mem.stats().bytes_read.get(), reads);
+        assert_eq!(mem.stats().bytes_written.get(), writes);
+        assert_eq!(mem.stats().requests.get(), reqs.len() as u64);
+    });
 }

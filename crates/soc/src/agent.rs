@@ -90,8 +90,7 @@ impl SystemAgent {
     /// returns the arrival instant at the destination. Transfers serialize
     /// on the fabric.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let occupancy =
-            SimDelta::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bytes_per_sec);
+        let occupancy = SimDelta::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bytes_per_sec);
         let start = now.max(self.fabric_free_at);
         self.fabric_free_at = start + occupancy;
         self.busy_ns += occupancy.as_ns();

@@ -84,8 +84,7 @@ impl IpConfig {
     /// Pure compute time for a frame whose larger footprint (input or
     /// output) is `bytes`, excluding all stalls.
     pub fn frame_compute_time(&self, bytes: u64) -> SimDelta {
-        self.per_frame_overhead
-            + SimDelta::from_secs_f64(bytes as f64 / self.compute_bytes_per_sec)
+        self.per_frame_overhead + SimDelta::from_secs_f64(bytes as f64 / self.compute_bytes_per_sec)
     }
 
     /// Dynamic energy to process `bytes`, in joules.
@@ -184,10 +183,7 @@ impl IpStats {
 
     /// Active nanoseconds through `now`, including a still-open period.
     pub fn active_ns_through(&self, now: SimTime) -> u64 {
-        let open = self
-            .active_since
-            .map(|s| now.since(s).as_ns())
-            .unwrap_or(0);
+        let open = self.active_since.map(|s| now.since(s).as_ns()).unwrap_or(0);
         self.active_ns + open
     }
 

@@ -1,8 +1,9 @@
 //! Property tests for the SoC component models: credit flow-control
 //! invariants, CPU task conservation, and system-agent serialization.
+//! Uses the in-repo [`desim::check`] harness (seeded random cases).
 
+use desim::check::{forall, vec_of};
 use desim::{SimDelta, SimTime};
-use proptest::prelude::*;
 use soc::{AgentConfig, CpuConfig, CpuCore, LaneBuffer, SystemAgent, Task};
 
 #[derive(Debug, Clone, Copy)]
@@ -12,19 +13,16 @@ enum BufOp {
     Consume(u64),
 }
 
-fn arb_buf_op() -> impl Strategy<Value = BufOp> {
-    prop_oneof![
-        (1u64..3000).prop_map(BufOp::Reserve),
-        Just(BufOp::Commit),
-        (1u64..3000).prop_map(BufOp::Consume),
-    ]
-}
-
-proptest! {
-    /// Under any sequence of reserve/commit/consume, the lane never
-    /// overflows and all quantities stay consistent.
-    #[test]
-    fn lane_buffer_never_overflows(ops in prop::collection::vec(arb_buf_op(), 1..200)) {
+/// Under any sequence of reserve/commit/consume, the lane never
+/// overflows and all quantities stay consistent.
+#[test]
+fn lane_buffer_never_overflows() {
+    forall("lane buffer", 256, |rng| {
+        let ops = vec_of(rng, 1, 200, |r| match r.below(3) {
+            0 => BufOp::Reserve(r.range(1, 3000)),
+            1 => BufOp::Commit,
+            _ => BufOp::Consume(r.range(1, 3000)),
+        });
         let mut lane = LaneBuffer::new(2048);
         let mut outstanding: Vec<u64> = Vec::new(); // reservations awaiting commit
         for op in ops {
@@ -32,8 +30,10 @@ proptest! {
                 BufOp::Reserve(n) => {
                     let free_before = lane.free();
                     let ok = lane.try_reserve(n);
-                    prop_assert_eq!(ok, n <= free_before);
-                    if ok { outstanding.push(n); }
+                    assert_eq!(ok, n <= free_before);
+                    if ok {
+                        outstanding.push(n);
+                    }
                 }
                 BufOp::Commit => {
                     if let Some(n) = outstanding.pop() {
@@ -42,28 +42,37 @@ proptest! {
                 }
                 BufOp::Consume(n) => {
                     let n = n.min(lane.used());
-                    if n > 0 { lane.consume(n); }
+                    if n > 0 {
+                        lane.consume(n);
+                    }
                 }
             }
-            prop_assert!(lane.used() + lane.reserved() <= lane.capacity());
-            prop_assert_eq!(lane.free(), lane.capacity() - lane.used() - lane.reserved());
-            prop_assert_eq!(lane.reserved(), outstanding.iter().sum::<u64>());
+            assert!(lane.used() + lane.reserved() <= lane.capacity());
+            assert_eq!(lane.free(), lane.capacity() - lane.used() - lane.reserved());
+            assert_eq!(lane.reserved(), outstanding.iter().sum::<u64>());
         }
-    }
+    });
+}
 
-    /// Every submitted CPU task completes exactly once, in FIFO order per
-    /// core, and instruction counts are conserved.
-    #[test]
-    fn cpu_tasks_conserve(durations in prop::collection::vec(1u64..500, 1..50)) {
+/// Every submitted CPU task completes exactly once, in FIFO order per
+/// core, and instruction counts are conserved.
+#[test]
+fn cpu_tasks_conserve() {
+    forall("cpu conservation", 256, |rng| {
+        let durations = vec_of(rng, 1, 50, |r| r.range(1, 500));
         let mut cpu: CpuCore<usize> = CpuCore::new(CpuConfig::default_mobile());
         let mut completions: Vec<usize> = Vec::new();
         let mut pending: Option<SimTime> = None;
         let mut total_instr = 0u64;
         for (i, &us) in durations.iter().enumerate() {
-            let t = Task { duration: SimDelta::from_us(us), instructions: us, kind: i };
+            let t = Task {
+                duration: SimDelta::from_us(us),
+                instructions: us,
+                kind: i,
+            };
             total_instr += us;
             if let Some(done) = cpu.submit(SimTime::ZERO, t) {
-                prop_assert!(pending.is_none());
+                assert!(pending.is_none());
                 pending = Some(done);
             }
         }
@@ -72,25 +81,31 @@ proptest! {
             completions.push(kind);
             pending = next;
         }
-        prop_assert_eq!(completions, (0..durations.len()).collect::<Vec<_>>());
-        prop_assert_eq!(cpu.instructions, total_instr);
-        prop_assert_eq!(cpu.tasks_run as usize, durations.len());
+        assert_eq!(completions, (0..durations.len()).collect::<Vec<_>>());
+        assert_eq!(cpu.instructions, total_instr);
+        assert_eq!(cpu.tasks_run as usize, durations.len());
         let total_us: u64 = durations.iter().sum();
-        prop_assert_eq!(cpu.active_ns, total_us * 1000);
-    }
+        assert_eq!(cpu.active_ns, total_us * 1000);
+    });
+}
 
-    /// Longer idle gaps never cost more energy than shorter ones at equal
-    /// total idle time (the retrospective governor is monotone).
-    #[test]
-    fn deeper_sleep_never_costs_more(gap_us in 1u64..20_000) {
+/// Longer idle gaps never cost more energy than shorter ones at equal
+/// total idle time (the retrospective governor is monotone).
+#[test]
+fn deeper_sleep_never_costs_more() {
+    forall("sleep monotone", 256, |rng| {
+        let gap_us = rng.range(1, 20_000);
         let energy_for_gap = |gap_us: u64| {
             let mut cpu: CpuCore<()> = CpuCore::new(CpuConfig::default_mobile());
             let d = cpu
-                .submit(SimTime::from_us(gap_us), Task {
-                    duration: SimDelta::ZERO,
-                    instructions: 0,
-                    kind: (),
-                })
+                .submit(
+                    SimTime::from_us(gap_us),
+                    Task {
+                        duration: SimDelta::ZERO,
+                        instructions: 0,
+                        kind: (),
+                    },
+                )
                 .unwrap();
             cpu.task_done(d);
             cpu.energy_j() / gap_us as f64 // J per us of idle
@@ -98,24 +113,27 @@ proptest! {
         // Per-microsecond idle energy is nonincreasing in gap length.
         let short = energy_for_gap(gap_us);
         let long = energy_for_gap(gap_us * 2);
-        prop_assert!(long <= short + 1e-15, "short {short}, long {long}");
-    }
+        assert!(long <= short + 1e-15, "short {short}, long {long}");
+    });
+}
 
-    /// System-agent transfers never overlap on the fabric and arrival times
-    /// are monotone for same-instant submissions.
-    #[test]
-    fn agent_serializes(sizes in prop::collection::vec(1u64..100_000, 1..50)) {
+/// System-agent transfers never overlap on the fabric and arrival times
+/// are monotone for same-instant submissions.
+#[test]
+fn agent_serializes() {
+    forall("agent serialization", 256, |rng| {
+        let sizes = vec_of(rng, 1, 50, |r| r.range(1, 100_000));
         let mut sa = SystemAgent::new(AgentConfig::default_mobile());
         let mut last = SimTime::ZERO;
         let mut busy_expected = 0u64;
         for &s in &sizes {
             let arrive = sa.transfer(SimTime::ZERO, s);
-            prop_assert!(arrive >= last);
+            assert!(arrive >= last);
             last = arrive;
-            busy_expected += SimDelta::from_secs_f64(
-                s as f64 / sa.config().bandwidth_bytes_per_sec).as_ns();
+            busy_expected +=
+                SimDelta::from_secs_f64(s as f64 / sa.config().bandwidth_bytes_per_sec).as_ns();
         }
-        prop_assert_eq!(sa.bytes.get(), sizes.iter().sum::<u64>());
-        prop_assert_eq!(sa.busy_ns, busy_expected);
-    }
+        assert_eq!(sa.bytes.get(), sizes.iter().sum::<u64>());
+        assert_eq!(sa.busy_ns, busy_expected);
+    });
 }

@@ -108,11 +108,7 @@ impl App {
                 vec![Mic, Ae, Nw],
             ],
             App::A5 => vec![vec![Vd, Dc], vec![Ad, Snd]],
-            App::A6 => vec![
-                vec![Cam, Img, Dc],
-                vec![Cam, Ve, Mmc],
-                vec![Mic, Ae, Mmc],
-            ],
+            App::A6 => vec![vec![Cam, Img, Dc], vec![Cam, Ve, Mmc], vec![Mic, Ae, Mmc]],
             App::A7 => vec![vec![Vd, Dc], vec![Ad, Snd]],
         }
     }
@@ -335,7 +331,10 @@ mod tests {
     fn video_flows_carry_a_gop_pattern() {
         let v = video_play_flow("v", Resolution::UHD_4K, 60.0);
         assert_eq!(v.src_size_pattern.len(), 12);
-        assert!(v.src_size_pattern[0] > v.src_size_pattern[1], "I bigger than P");
+        assert!(
+            v.src_size_pattern[0] > v.src_size_pattern[1],
+            "I bigger than P"
+        );
         assert_eq!(v.burst_cap, Some(12));
         // The I frame is genuinely larger in bytes.
         assert!(v.src_bytes_for(0) > 3 * v.src_bytes_for(1));

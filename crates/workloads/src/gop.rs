@@ -113,7 +113,11 @@ mod tests {
     fn fixed_gop_is_periodic() {
         let types = GopSpec::fixed(5).frame_types(20, 1);
         for (i, t) in types.iter().enumerate() {
-            let expect = if i % 5 == 0 { FrameType::I } else { FrameType::P };
+            let expect = if i % 5 == 0 {
+                FrameType::I
+            } else {
+                FrameType::P
+            };
             assert_eq!(*t, expect, "frame {i}");
         }
     }

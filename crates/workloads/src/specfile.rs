@@ -76,14 +76,13 @@ impl PendingFlow {
         }
         // Build without panicking.
         let b = self.builder;
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.build()))
-            .map_err(|p| {
-                let msg = p
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .unwrap_or_else(|| "invalid flow".into());
-                err(self.line, msg)
-            })
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.build())).map_err(|p| {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "invalid flow".into());
+            err(self.line, msg)
+        })
     }
 }
 
@@ -153,16 +152,17 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, ParseError> {
                                 .map_err(|_| err(lineno, format!("bad burst_cap '{v}'")))?;
                             builder = builder.burst_cap(c);
                         }
-                        other => {
-                            return Err(err(lineno, format!("unknown flow key '{other}'")))
-                        }
+                        other => return Err(err(lineno, format!("unknown flow key '{other}'"))),
                     }
                 }
                 builder = if sensor {
                     builder.sensor_source()
                 } else {
                     let src = src.ok_or_else(|| {
-                        err(lineno, "non-sensor flow needs src=<bytes> (or mark it 'sensor')")
+                        err(
+                            lineno,
+                            "non-sensor flow needs src=<bytes> (or mark it 'sensor')",
+                        )
                     })?;
                     builder.cpu_source(src, prep_us * 1000, prep_us * 1200)
                 };
@@ -198,9 +198,7 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, ParseError> {
                                 .parse()
                                 .map_err(|_| err(lineno, format!("bad side '{v}'")))?
                         }
-                        other => {
-                            return Err(err(lineno, format!("unknown stage key '{other}'")))
-                        }
+                        other => return Err(err(lineno, format!("unknown stage key '{other}'"))),
                     }
                 }
                 let out = out.ok_or_else(|| err(lineno, "stage needs out=<bytes>"))?;

@@ -162,9 +162,10 @@ mod tests {
     fn w2_has_a_4k_stream() {
         let w2 = Workload::W2.spec(1);
         let flows = w2.flows();
-        assert!(flows
+        assert!(flows.iter().any(|f| f
+            .stages
             .iter()
-            .any(|f| f.stages.iter().any(|s| s.out_bytes == Resolution::UHD_4K.nv12_bytes())));
+            .any(|s| s.out_bytes == Resolution::UHD_4K.nv12_bytes())));
         assert_eq!(w2.apps.len(), 3);
     }
 
@@ -178,7 +179,9 @@ mod tests {
             for (ai, app) in spec.apps.iter().enumerate() {
                 for f in &app.flows {
                     for s in &f.stages {
-                        seen.entry(s.ip).or_insert_with(std::collections::HashSet::new).insert(ai);
+                        seen.entry(s.ip)
+                            .or_insert_with(std::collections::HashSet::new)
+                            .insert(ai);
                     }
                 }
             }

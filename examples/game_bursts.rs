@@ -26,7 +26,10 @@ fn main() {
     let gated = run_w6(true);
     let ungated = run_w6(false);
 
-    println!("\n{:<22} {:>14} {:>14}", "", "gated bursts", "ungated bursts");
+    println!(
+        "\n{:<22} {:>14} {:>14}",
+        "", "gated bursts", "ungated bursts"
+    );
     println!(
         "{:<22} {:>14.3} {:>14.3}",
         "energy (mJ/frame)",
