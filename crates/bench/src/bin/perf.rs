@@ -9,7 +9,15 @@
 //! ```text
 //! cargo run --release -p vip-bench --bin perf            # BENCH_1.json
 //! cargo run --release -p vip-bench --bin perf -- --ms 150 --out /tmp/b.json
+//! cargo run --release -p vip-bench --bin perf -- --out /tmp/b.json \
+//!     --assert-within 2        # fail if >2% events/sec below BENCH_1.json
 //! ```
+//!
+//! `--assert-within <pct>` compares the fresh measurement against a
+//! baseline file (`--baseline <path>`, default the tracked BENCH_1.json)
+//! and exits nonzero on a regression beyond the tolerance. This is the
+//! guard that keeps the telemetry layer zero-cost: a build without the
+//! `trace` feature must stay within noise of the tracked number.
 
 use std::time::Instant;
 
@@ -39,8 +47,13 @@ fn main() {
             .and_then(|i| argv.get(i + 1).cloned())
     };
     let ms: u64 = get("--ms").and_then(|v| v.parse().ok()).unwrap_or(300);
-    let out = get("--out")
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_1.json").to_string());
+    let tracked = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_1.json");
+    let out = get("--out").unwrap_or_else(|| tracked.to_string());
+    let assert_within: Option<f64> = get("--assert-within").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--assert-within wants a percentage, got '{v}'"))
+    });
+    let baseline_path = get("--baseline").unwrap_or_else(|| tracked.to_string());
     let settings = RunSettings::with_ms(ms);
     let units = pinned_units();
 
@@ -84,4 +97,38 @@ fn main() {
         "\n{events} events in {wall_ms:.1} ms = {:.2} M events/sec  -> {out}",
         events_per_sec / 1e6
     );
+
+    if let Some(pct) = assert_within {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let base = telemetry::json::parse(&text)
+            .unwrap_or_else(|e| panic!("baseline {baseline_path} is not valid JSON: {e}"));
+        let base_eps = base
+            .get("events_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("baseline {baseline_path} has no events_per_sec"));
+        let base_ms: u64 = base
+            .get("sim_ms_per_cell")
+            .and_then(|v| v.as_f64())
+            .map(|v| v as u64)
+            .unwrap_or(0);
+        if base_ms != ms {
+            eprintln!(
+                "warning: baseline measured {base_ms} sim-ms/cell, this run {ms} — \
+                 throughputs are only roughly comparable"
+            );
+        }
+        let delta_pct = (events_per_sec - base_eps) / base_eps * 100.0;
+        println!(
+            "baseline {:.2} M events/sec, delta {delta_pct:+.2}% (tolerance -{pct}%)",
+            base_eps / 1e6
+        );
+        if delta_pct < -pct {
+            eprintln!(
+                "PERF REGRESSION: events/sec fell {:.2}% below baseline (allowed {pct}%)",
+                -delta_pct
+            );
+            std::process::exit(1);
+        }
+    }
 }

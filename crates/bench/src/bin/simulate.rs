@@ -3,8 +3,16 @@
 //! ```text
 //! simulate --file my.flows --scheme vip --ms 500
 //! simulate --file my.flows --scheme baseline --device nexus7 --timeline
+//! simulate --file my.flows --metrics metrics.json
+//! simulate --file my.flows --trace trace.json   # needs --features trace
 //! echo 'flow v fps=30 src=62500\nstage VD out=3110400\nstage DC out=0' | simulate --scheme vip
 //! ```
+//!
+//! `--metrics` writes the unified metrics snapshot (counters, rates,
+//! energy accounts, flow-time percentiles) as JSON. `--trace` writes a
+//! Chrome-trace-event JSON timeline loadable in <https://ui.perfetto.dev>;
+//! it requires the `trace` cargo feature, which is off by default so the
+//! measured binary stays on the zero-cost path.
 //!
 //! The file format is documented in `workloads::specfile`.
 
@@ -45,7 +53,8 @@ fn main() {
         eprintln!("{msg}");
         eprintln!(
             "usage: simulate [--file <path>] [--scheme baseline|fb|chained|vip] \
-             [--device nexus7|memopad8|s4|s5|table3] [--ms N] [--timeline]"
+             [--device nexus7|memopad8|s4|s5|table3] [--ms N] [--timeline] \
+             [--metrics <out.json>] [--trace <out.json>] [--trace-capacity N]"
         );
         std::process::exit(2);
     };
@@ -76,7 +85,42 @@ fn main() {
 
     let mut cfg = device.config(scheme);
     cfg.duration = desim::SimDelta::from_ms(ms);
+
+    let trace_out = get("--trace");
+    #[cfg(not(feature = "trace"))]
+    if trace_out.is_some() {
+        bail(
+            "--trace requires the `trace` feature: \
+             cargo run -p vip-bench --features trace --bin simulate -- ...",
+        );
+    }
+
+    #[cfg(feature = "trace")]
+    let (report, traces) = if let Some(path) = &trace_out {
+        let capacity: usize = get("--trace-capacity")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1 << 20);
+        let (report, session) = SystemSim::run_traced(cfg, flows, capacity);
+        std::fs::write(path, session.export_chrome_json())
+            .unwrap_or_else(|e| bail(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "trace: {} events kept of {} recorded ({} engine dispatches) -> {path} \
+             (open in https://ui.perfetto.dev)",
+            session.len(),
+            session.events_written(),
+            session.engine_dispatches(),
+        );
+        (report, Vec::new())
+    } else {
+        SystemSim::run_detailed(cfg, flows)
+    };
+    #[cfg(not(feature = "trace"))]
     let (report, traces) = SystemSim::run_detailed(cfg, flows);
+
+    if let Some(path) = get("--metrics") {
+        std::fs::write(&path, report.metrics().to_json())
+            .unwrap_or_else(|e| bail(&format!("cannot write {path}: {e}")));
+    }
 
     println!(
         "{} on {} for {} ms: {} flows, {} frames sourced, {} completed, \
@@ -92,13 +136,15 @@ fn main() {
     );
     println!(
         "energy {:.3} mJ/frame ({}); {:.1} interrupts/100ms; DRAM {:.2} GB/s avg; \
-         flow time avg {:.2} ms / p95 {:.2} ms",
+         flow time avg {:.2} ms / p50 {:.2} / p95 {:.2} / p99 {:.2} ms",
         report.energy_per_frame_mj(),
         report.energy,
         report.irq_per_100ms(),
         report.mem_avg_gbps,
         report.avg_flow_time.as_ms(),
+        report.p50_flow_time.as_ms(),
         report.p95_flow_time.as_ms(),
+        report.p99_flow_time.as_ms(),
     );
     for f in &report.flows {
         println!(
@@ -114,6 +160,10 @@ fn main() {
         println!();
         for t in &traces {
             print!("{}", t.render(12));
+        }
+        #[cfg(feature = "trace")]
+        if trace_out.is_some() {
+            eprintln!("note: --timeline is unavailable in the same run as --trace");
         }
     }
 }

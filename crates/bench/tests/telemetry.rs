@@ -1,0 +1,119 @@
+//! End-to-end checks of the telemetry surface exposed by the `simulate`
+//! binary: the unified metrics snapshot (always available) and the
+//! Chrome-trace export (behind the `trace` feature).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+/// A minimal but real two-stage flow: bitstream -> VD -> DC.
+const SPEC: &str = "\
+flow video fps=30 src=62500
+stage VD out=3110400
+stage DC out=0
+";
+
+fn run_simulate(args: &[&str]) -> std::process::Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn simulate");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(SPEC.as_bytes())
+        .expect("write spec");
+    child.wait_with_output().expect("simulate exits")
+}
+
+#[test]
+fn metrics_flag_writes_a_parseable_snapshot() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("vip-metrics-{}.json", std::process::id()));
+    let path_s = path.to_str().expect("utf8 tmp path");
+
+    let out = run_simulate(&["--scheme", "vip", "--ms", "200", "--metrics", path_s]);
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    let doc = telemetry::json::parse(&text).expect("metrics JSON parses");
+
+    let counters = doc.get("counters").expect("counters object");
+    let completed = counters
+        .get("frames.completed")
+        .and_then(|v| v.as_f64())
+        .expect("frames.completed counter");
+    assert!(completed > 0.0, "no frames completed: {text}");
+
+    // The flow-time distribution summary carries the new percentiles.
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("flow_time_ns"))
+        .expect("flow_time_ns summary");
+    let p50 = hist.get("p50").and_then(|v| v.as_f64()).expect("p50");
+    let p95 = hist.get("p95").and_then(|v| v.as_f64()).expect("p95");
+    let p99 = hist.get("p99").and_then(|v| v.as_f64()).expect("p99");
+    assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{text}");
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn trace_flag_emits_valid_chrome_trace_json() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("vip-trace-{}.json", std::process::id()));
+    let path_s = path.to_str().expect("utf8 tmp path");
+
+    // A bounded ring keeps the exported file small enough to parse quickly
+    // in a debug-build test; the capacity still holds thousands of events.
+    let out = run_simulate(&[
+        "--scheme",
+        "vip",
+        "--ms",
+        "200",
+        "--trace",
+        path_s,
+        "--trace-capacity",
+        "65536",
+    ]);
+    assert!(
+        out.status.success(),
+        "simulate --trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let summary = telemetry::validate_chrome_trace(&text).expect("valid chrome trace-event JSON");
+    assert!(summary.spans > 0, "no spans in trace");
+    assert!(summary.counters > 0, "no counter samples in trace");
+    assert!(summary.metadata > 0, "no track-name metadata in trace");
+
+    // Spot-check naming: the VD lane and a DRAM channel must be labeled.
+    assert!(text.contains("\"VD lane 0\""), "missing VD lane track");
+    assert!(text.contains("\"channel 0\""), "missing DRAM channel track");
+    assert!(text.contains("\"video\""), "missing flow track");
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn trace_flag_without_feature_fails_with_guidance() {
+    let out = run_simulate(&[
+        "--scheme",
+        "vip",
+        "--ms",
+        "50",
+        "--trace",
+        "/tmp/never.json",
+    ]);
+    assert!(!out.status.success(), "--trace must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--features trace"), "unhelpful error: {err}");
+}

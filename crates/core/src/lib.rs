@@ -57,6 +57,7 @@ pub mod flow;
 pub mod header;
 pub mod metrics;
 pub mod sim;
+pub mod telem;
 pub mod trace;
 
 pub use chain::{ChainDescriptor, ChainId, Platform};
@@ -66,4 +67,7 @@ pub use flow::{BurstGate, FlowSpec, FlowSpecBuilder, SourceKind, StageSpec};
 pub use header::HeaderPacket;
 pub use metrics::{FlowReport, FrameRecord, SystemReport};
 pub use sim::SystemSim;
+#[cfg(feature = "trace")]
+pub use telem::TraceSession;
+pub use telem::Tracer;
 pub use trace::FlowTrace;

@@ -171,20 +171,30 @@ pub struct SystemReport {
     pub sa_bytes: u64,
     /// Mean flow time over completed frames (all flows).
     pub avg_flow_time: SimDelta,
+    /// Median flow time over completed frames (all flows).
+    pub p50_flow_time: SimDelta,
     /// 95th-percentile flow time over completed frames (all flows).
     pub p95_flow_time: SimDelta,
+    /// 99th-percentile flow time over completed frames (all flows).
+    pub p99_flow_time: SimDelta,
     /// Events the simulation dispatched (diagnostics).
     pub events: u64,
 }
 
 impl SystemReport {
-    /// A stable 64-bit digest over every field of the report.
+    /// A stable 64-bit digest over a fixed list of the report's fields.
     ///
     /// Two reports digest equal iff the simulations behaved identically
     /// (bit-identical floats included), so this is the equality witness for
     /// golden-determinism tests: the digest must not change across repeated
     /// runs, across `Matrix::run_subset` worker counts, or across pure
     /// performance refactors of the event engine.
+    ///
+    /// Fields added after the golden table was frozen (`p50_flow_time`,
+    /// `p99_flow_time`) are deliberately *not* hashed: they derive from the
+    /// same per-frame samples as `p95_flow_time`, so hashing them would
+    /// invalidate every recorded golden digest without adding any
+    /// determinism coverage.
     pub fn digest(&self) -> u64 {
         use std::hash::Hasher;
         let mut h = desim::hash::FxHasher::default();
@@ -299,6 +309,87 @@ impl SystemReport {
             .find(|r| r.kind == kind && r.frames > 0)
             .map(|r| r.active_ns as f64 / 1e6 / r.frames as f64)
     }
+
+    /// The report's numbers absorbed into the unified metrics registry:
+    /// one snapshot holding every counter, derived rate, energy account,
+    /// and the flow-time distribution summary, ready for
+    /// [`telemetry::MetricsSnapshot::to_json`] or
+    /// [`telemetry::MetricsSnapshot::render`].
+    pub fn metrics(&self) -> telemetry::MetricsSnapshot {
+        let mut reg = telemetry::MetricsRegistry::new();
+
+        reg.add("frames.sourced", self.frames_sourced);
+        reg.add("frames.completed", self.frames_completed);
+        reg.add("frames.violated", self.frames_violated);
+        reg.add("frames.dropped_at_source", self.frames_dropped_at_source);
+        reg.add("cpu.interrupts", self.interrupts);
+        reg.add("cpu.rollbacks", self.rollbacks);
+        reg.add("cpu.active_ns", self.cpu_active_ns);
+        reg.add("cpu.instructions", self.cpu_instructions);
+        reg.add("mem.bytes", self.mem_bytes);
+        reg.add("sa.bytes", self.sa_bytes);
+        reg.add("engine.events", self.events);
+
+        reg.value_set("energy.cpu_j", self.energy.cpu_j);
+        reg.value_set("energy.dram_j", self.energy.dram_j);
+        reg.value_set("energy.ip_j", self.energy.ip_j);
+        reg.value_set("energy.sa_j", self.energy.sa_j);
+        reg.value_set("energy.buffer_j", self.energy.buffer_j);
+        reg.value_set("energy.total_j", self.energy.total_j());
+        reg.value_set("energy.background_cpu_j", self.background_cpu_j);
+        reg.value_set("energy.per_frame_mj", self.energy_per_frame_mj());
+        reg.value_set("mem.avg_gbps", self.mem_avg_gbps);
+        reg.value_set("mem.frac_above_80pct", self.mem_frac_above_80pct);
+        reg.value_set("qos.violation_rate", self.violation_rate());
+        reg.value_set("cpu.irq_per_100ms", self.irq_per_100ms());
+        reg.value_set("cpu.ms_per_frame", self.cpu_ms_per_frame());
+
+        reg.summary_set(
+            "flow_time_ns",
+            telemetry::HistSummary {
+                count: self.frames_completed,
+                mean: self.avg_flow_time.as_ns() as f64,
+                min: 0.0,
+                max: self.p99_flow_time.as_ns() as f64,
+                p50: self.p50_flow_time.as_ns() as f64,
+                p95: self.p95_flow_time.as_ns() as f64,
+                p99: self.p99_flow_time.as_ns() as f64,
+            },
+        );
+
+        for fr in &self.flows {
+            reg.add(&format!("flow.{}.sourced", fr.name), fr.frames_sourced);
+            reg.add(&format!("flow.{}.completed", fr.name), fr.frames_completed);
+            reg.add(&format!("flow.{}.violations", fr.name), fr.violations);
+            reg.value_set(
+                &format!("flow.{}.avg_flow_time_ms", fr.name),
+                fr.avg_flow_time.as_secs() * 1e3,
+            );
+            reg.value_set(
+                &format!("flow.{}.p95_flow_time_ms", fr.name),
+                fr.p95_flow_time.as_secs() * 1e3,
+            );
+        }
+        for ip in &self.ips {
+            reg.value_set(
+                &format!("ip.{}.utilization", ip.kind.abbrev()),
+                ip.utilization,
+            );
+            reg.add(&format!("ip.{}.frames", ip.kind.abbrev()), ip.frames);
+            reg.add(
+                &format!("ip.{}.context_switches", ip.kind.abbrev()),
+                ip.context_switches,
+            );
+        }
+
+        // The DRAM bandwidth timeline becomes a time-weighted gauge: one
+        // sample per 1 ms window.
+        for (i, &w) in self.mem_bw_windows_gbps.iter().enumerate() {
+            reg.gauge_set("mem.bw_gbps", SimTime::from_ms(i as u64), w);
+        }
+
+        reg.snapshot(SimTime::ZERO + self.duration)
+    }
 }
 
 #[cfg(test)]
@@ -373,7 +464,9 @@ mod tests {
             mem_bytes: 0,
             sa_bytes: 0,
             avg_flow_time: SimDelta::from_ms(10),
+            p50_flow_time: SimDelta::from_ms(9),
             p95_flow_time: SimDelta::from_ms(14),
+            p99_flow_time: SimDelta::from_ms(15),
             events: 0,
         };
         assert!((rep.energy_per_frame_mj() - 1.0).abs() < 1e-12);

@@ -26,6 +26,8 @@
 //! exactly the paper's Fig 3 effect.
 
 use std::collections::VecDeque;
+#[cfg(feature = "trace")]
+use std::rc::Rc;
 
 use desim::{Engine, FxHashMap, Model, Scheduler, SimDelta, SimTime};
 use dram::{Completion, MemOp, MemRequest, MemorySystem};
@@ -35,6 +37,7 @@ use crate::config::{SchedPolicy, Scheme, SystemConfig};
 use crate::flow::{FlowSpec, SourceKind};
 use crate::header::HeaderPacket;
 use crate::metrics::{FlowReport, FrameRecord, IpReport, SystemReport};
+use crate::telem::Tracer;
 
 /// Correlation tag for posted writes (completions are not tracked).
 const WRITE_TAG: u64 = u64::MAX;
@@ -214,6 +217,9 @@ pub struct SystemSim {
     bg_active_ns: u64,
     bg_instructions: u64,
     end: SimTime,
+    /// Telemetry facade: a zero-sized no-op unless the `trace` feature is
+    /// on *and* the run was started via `run_traced`.
+    tracer: Tracer,
 }
 
 impl SystemSim {
@@ -310,9 +316,30 @@ impl SystemSim {
             bg_active_ns: 0,
             bg_instructions: 0,
             end,
+            tracer: Tracer::disabled(),
             flows: flows_rt,
             ips,
             cfg,
+        }
+    }
+
+    /// Seeds the initial source and background events into a fresh engine.
+    fn seed(engine: &mut Engine<SystemSim>) {
+        for i in 0..engine.model().flows.len() {
+            let phase = engine.model().flows[i].phase;
+            engine
+                .scheduler()
+                .at(SimTime::ZERO + phase, Ev::Source { flow: i });
+        }
+        if let Some(bg) = engine.model().cfg.background {
+            let ncpus = engine.model().cpus.len();
+            for c in 0..ncpus {
+                // Stagger cores so background work is spread out.
+                let phase = SimDelta::from_ns(bg.period.as_ns() * c as u64 / ncpus as u64);
+                engine
+                    .scheduler()
+                    .at(SimTime::ZERO + phase, Ev::Background { cpu: c });
+            }
         }
     }
 
@@ -325,21 +352,7 @@ impl SystemSim {
         let sim = SystemSim::new(cfg, flows);
         let end = sim.end;
         let mut engine = Engine::new(sim);
-        for i in 0..engine.model().flows.len() {
-            let phase = engine.model().flows[i].phase;
-            engine
-                .scheduler()
-                .at(SimTime::ZERO + phase, Ev::Source { flow: i });
-        }
-        if let Some(bg) = engine.model().cfg.background {
-            let ncpus = engine.model().cpus.len();
-            for c in 0..ncpus {
-                let phase = SimDelta::from_ns(bg.period.as_ns() * c as u64 / ncpus as u64);
-                engine
-                    .scheduler()
-                    .at(SimTime::ZERO + phase, Ev::Background { cpu: c });
-            }
-        }
+        SystemSim::seed(&mut engine);
         engine.run_until(end);
         let events = engine.scheduler().events_dispatched();
         let mut sim = engine.into_model();
@@ -361,26 +374,93 @@ impl SystemSim {
         let sim = SystemSim::new(cfg, flows);
         let end = sim.end;
         let mut engine = Engine::new(sim);
-        for i in 0..engine.model().flows.len() {
-            let phase = engine.model().flows[i].phase;
-            engine
-                .scheduler()
-                .at(SimTime::ZERO + phase, Ev::Source { flow: i });
-        }
-        if let Some(bg) = engine.model().cfg.background {
-            let ncpus = engine.model().cpus.len();
-            for c in 0..ncpus {
-                // Stagger cores so background work is spread out.
-                let phase = SimDelta::from_ns(bg.period.as_ns() * c as u64 / ncpus as u64);
-                engine
-                    .scheduler()
-                    .at(SimTime::ZERO + phase, Ev::Background { cpu: c });
-            }
-        }
+        SystemSim::seed(&mut engine);
         engine.run_until(end);
         let events = engine.scheduler().events_dispatched();
         let mut sim = engine.into_model();
         sim.build_report(events)
+    }
+
+    /// Runs `flows` under `cfg` while recording a structured trace into a
+    /// ring of `capacity` events, returning the report and the finished
+    /// [`TraceSession`](crate::TraceSession) for export.
+    ///
+    /// The recorded schedule is identical to [`SystemSim::run`]'s: the
+    /// tracer only observes, it never perturbs event ordering, so the
+    /// report digest matches an untraced run bit-for-bit.
+    #[cfg(feature = "trace")]
+    pub fn run_traced(
+        cfg: SystemConfig,
+        flows: Vec<FlowSpec>,
+        capacity: usize,
+    ) -> (SystemReport, crate::TraceSession) {
+        use telemetry::{EventKind, TraceEvent, TraceSink, TrackGroup, TrackId};
+
+        let mut sim = SystemSim::new(cfg, flows);
+        sim.tracer = Tracer::recording(capacity);
+        let rec = sim.tracer.share().expect("tracer is recording");
+        let flow_names: Vec<String> = sim.flows.iter().map(|f| f.spec.name.clone()).collect();
+
+        // DRAM channel issue/complete + queue depth, straight from the
+        // memory system's probe.
+        let dram_rec = Rc::clone(&rec);
+        sim.mem.set_probe(Box::new(move |p: dram::DramProbe| {
+            let mut r = dram_rec.borrow_mut();
+            match p {
+                dram::DramProbe::Issue {
+                    channel,
+                    op,
+                    start,
+                    done,
+                    ..
+                } => {
+                    let track = TrackId::new(TrackGroup::DramChannel, channel as u16, 0);
+                    let name = r.intern(match op {
+                        dram::MemOp::Read => "read",
+                        dram::MemOp::Write => "write",
+                    });
+                    r.record(TraceEvent {
+                        t_ns: start.as_ns(),
+                        kind: EventKind::SpanBegin { track, name },
+                    });
+                    r.record(TraceEvent {
+                        t_ns: done.as_ns(),
+                        kind: EventKind::SpanEnd { track },
+                    });
+                }
+                dram::DramProbe::QueueDepth { channel, at, depth } => {
+                    let track = TrackId::new(TrackGroup::DramChannel, channel as u16, 0);
+                    let name = r.intern("queue-depth");
+                    r.record(TraceEvent {
+                        t_ns: at.as_ns(),
+                        kind: EventKind::Counter {
+                            track,
+                            name,
+                            value: depth as f64,
+                        },
+                    });
+                }
+                dram::DramProbe::Complete { .. } => {}
+            }
+        }));
+
+        let end = sim.end;
+        let mut engine = Engine::new(sim);
+
+        // Count raw engine dispatches (57M+ per long run: counted, not
+        // ring-buffered).
+        let hook_rec = Rc::clone(&rec);
+        engine.set_dispatch_hook(Box::new(move |_at, _ev| {
+            hook_rec.borrow_mut().note_dispatch();
+        }));
+
+        SystemSim::seed(&mut engine);
+        engine.run_until(end);
+        let events = engine.scheduler().events_dispatched();
+        let mut sim = engine.into_model();
+        let report = sim.build_report(events);
+        drop(sim);
+        (report, crate::TraceSession { rec, flow_names })
     }
 
     // ------------------------------------------------------------------
@@ -471,11 +551,16 @@ impl SystemSim {
         if let Some(done) = self.cpus[core].submit(sched.now(), task) {
             sched.at(done, Ev::CpuDone { cpu: core });
         }
+        if self.tracer.is_on() {
+            let depth = self.cpus[core].queued() + usize::from(self.cpus[core].is_busy());
+            self.tracer.cpu_queue(core, sched.now(), depth);
+        }
     }
 
     fn raise_irq(&mut self, sched: &mut Scheduler<Ev>, flow: usize, dispatch: usize, stage: usize) {
         self.interrupts += 1;
         let core = self.flows[flow].core;
+        self.tracer.irq(core, sched.now());
         let work = self.cfg.irq_service;
         self.submit_cpu_task(
             sched,
@@ -572,14 +657,20 @@ impl SystemSim {
         // Source-queue limit (the Nexus 7 depth-7 observation, §2.2).
         let f = &mut self.flows[flow_idx];
         if f.in_flight + to_dispatch.len() as u32 > self.cfg.source_queue_limit {
+            let dropped = to_dispatch.len();
             for k in to_dispatch {
                 f.records[k as usize].dropped_at_source = true;
             }
+            self.tracer.frames_dropped(flow_idx, now, dropped);
             return;
         }
         f.in_flight += to_dispatch.len() as u32;
         for &k in &to_dispatch {
             f.records[k as usize].dispatched = Some(now);
+        }
+        if self.tracer.is_on() {
+            let in_flight = self.flows[flow_idx].in_flight as usize;
+            self.tracer.dispatched(flow_idx, now, in_flight);
         }
 
         let dispatch = self.dispatches.len();
@@ -800,7 +891,9 @@ impl SystemSim {
             burst,
             self.cfg.header_context_bytes,
         );
-        self.agent.transfer(sched.now(), header.size_bytes());
+        let header_bytes = header.size_bytes();
+        let xfer = self.agent.transfer(sched.now(), header_bytes);
+        self.tracer.sa_transfer(xfer.start, xfer.end, header_bytes);
         for (s, kind) in chain.iter().enumerate().take(stages) {
             let ip = kind.index();
             let lane = self.flows[flow].lane_at[s];
@@ -878,6 +971,10 @@ impl SystemSim {
                     });
                     // A new head: producers blocked on this lane may proceed.
                     self.wake_waiters(ip);
+                    if self.tracer.is_on() {
+                        let depth = self.ips[ip].lanes[lane].queue.len();
+                        self.tracer.queue_depth(ip, lane, now, depth);
+                    }
                 }
             }
 
@@ -1055,9 +1152,10 @@ impl SystemSim {
             }
             return false;
         }
-        let arrival = self.agent.transfer(now, bytes);
+        let xfer = self.agent.transfer(now, bytes);
+        self.tracer.sa_transfer(xfer.start, xfer.end, bytes);
         sched.at(
-            arrival,
+            xfer.arrival,
             Ev::SaArrival {
                 ip: cons_ip,
                 lane: cons_lane,
@@ -1160,6 +1258,10 @@ impl SystemSim {
             }
             InputMode::Upstream => {
                 self.ips[ip].lanes[lane].buffer.consume(need);
+                if self.tracer.is_on() {
+                    let used = self.ips[ip].lanes[lane].buffer.used();
+                    self.tracer.buffer_level(ip, lane, now, used);
+                }
                 let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
                 item.in_consumed += need;
                 // Freed credit: the upstream producer may emit again.
@@ -1199,6 +1301,14 @@ impl SystemSim {
         self.ips[ip].engine_busy = true;
         self.ips[ip].engine_lane = Some(lane);
         sched.at(now + dur, Ev::ComputeDone { ip, lane });
+        if self.tracer.is_on() {
+            if switching {
+                self.tracer.ctx_switch(ip, lane, now);
+            }
+            let flow = self.ips[ip].lanes[lane].active.as_ref().expect("x").flow;
+            self.tracer
+                .compute_round(ip, lane, &self.flows[flow].spec.name, now, now + dur);
+        }
     }
 
     fn on_compute_done(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
@@ -1248,6 +1358,10 @@ impl SystemSim {
         if last_stage {
             self.flows[flow].records[frame as usize].finished = Some(now);
             self.flows[flow].in_flight = self.flows[flow].in_flight.saturating_sub(1);
+            if self.tracer.is_on() {
+                let late = now > self.flows[flow].records[frame as usize].deadline;
+                self.tracer.frame_done(flow, now, late);
+            }
         }
 
         if item_done {
@@ -1325,6 +1439,10 @@ impl SystemSim {
     fn on_sa_arrival(&mut self, ip: usize, lane: usize, bytes: u64, sched: &mut Scheduler<Ev>) {
         self.ips[ip].lanes[lane].buffer.commit(bytes);
         self.buffer_bytes_streamed += bytes;
+        if self.tracer.is_on() {
+            let used = self.ips[ip].lanes[lane].buffer.used();
+            self.tracer.buffer_level(ip, lane, sched.now(), used);
+        }
         self.kick(ip);
         self.drain_kicks(sched);
     }
@@ -1470,9 +1588,17 @@ impl SystemSim {
             } else {
                 SimDelta::ZERO
             },
+            p50_flow_time: SimDelta::from_ns(crate::trace::percentile_ns(
+                all_ft_samples.iter().copied(),
+                0.50,
+            )),
             p95_flow_time: SimDelta::from_ns(crate::trace::percentile_ns(
-                all_ft_samples.into_iter(),
+                all_ft_samples.iter().copied(),
                 0.95,
+            )),
+            p99_flow_time: SimDelta::from_ns(crate::trace::percentile_ns(
+                all_ft_samples.into_iter(),
+                0.99,
             )),
             events,
         }
@@ -1522,6 +1648,42 @@ mod tests {
 
     fn run(scheme: Scheme, flows: Vec<FlowSpec>) -> SystemReport {
         SystemSim::run(quick_cfg(scheme), flows)
+    }
+
+    /// The tracer observes; it must never perturb the simulation.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_run_is_bit_identical_and_exports_valid_json() {
+        let flows = || vec![small_video("a"), small_video("b")];
+        let plain = SystemSim::run(quick_cfg(Scheme::Vip), flows());
+        let (traced, session) = SystemSim::run_traced(quick_cfg(Scheme::Vip), flows(), 1 << 16);
+        assert_eq!(plain.digest(), traced.digest(), "tracing perturbed the run");
+
+        assert!(!session.is_empty(), "nothing recorded");
+        assert!(session.engine_dispatches() > 0, "dispatch hook never fired");
+        let json = session.export_chrome_json();
+        let summary = telemetry::validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(summary.spans > 0, "no compute/transfer spans");
+        assert!(summary.counters > 0, "no counter samples");
+        assert!(summary.instants > 0, "no instants (irq/frame marks)");
+    }
+
+    /// p50 ≤ p95 ≤ p99, and the new percentiles do not feed the digest.
+    #[test]
+    fn flow_time_percentiles_are_ordered() {
+        let rep = run(Scheme::Baseline, vec![small_video("v")]);
+        assert!(rep.p50_flow_time <= rep.p95_flow_time);
+        assert!(rep.p95_flow_time <= rep.p99_flow_time);
+        assert!(rep.p50_flow_time.as_ns() > 0);
+
+        let mut tweaked = rep.clone();
+        tweaked.p50_flow_time = SimDelta::ZERO;
+        tweaked.p99_flow_time = SimDelta::ZERO;
+        assert_eq!(
+            rep.digest(),
+            tweaked.digest(),
+            "p50/p99 must not be part of the frozen golden digest"
+        );
     }
 
     #[test]

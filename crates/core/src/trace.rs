@@ -184,6 +184,63 @@ mod tests {
     }
 
     #[test]
+    fn render_handles_missing_dispatch_and_spans() {
+        // Sourced but never dispatched (e.g. the run ended first): the
+        // dispatch column shows a dash and the stage shows no span.
+        let trace = FlowTrace {
+            name: "cam".into(),
+            stage_names: vec!["ISP", "DC"],
+            records: vec![FrameRecord::new(
+                SimTime::from_ms(5),
+                SimTime::from_ms(38),
+                2,
+            )],
+        };
+        let s = trace.render(10);
+        assert!(s.contains("disp     -"), "{s}");
+        assert!(s.contains("ISP[-]"), "{s}");
+        assert!(s.contains("DC[-]"), "{s}");
+        assert!(s.contains("unfinished"), "{s}");
+        assert!(!s.contains("fin "), "{s}");
+    }
+
+    #[test]
+    fn render_truncates_to_max_frames() {
+        let trace = FlowTrace {
+            name: "vid".into(),
+            stage_names: vec!["VD"],
+            records: (0..10).map(|k| record(k, Some(k + 2), 1000)).collect(),
+        };
+        let s = trace.render(3);
+        // Header line + exactly three frame lines.
+        assert_eq!(s.lines().count(), 4, "{s}");
+        assert!(s.contains("#0 "), "{s}");
+        assert!(s.contains("#2 "), "{s}");
+        assert!(!s.contains("#3 "), "{s}");
+        // max_frames = 0 renders just the header.
+        assert_eq!(trace.render(0).lines().count(), 1);
+    }
+
+    #[test]
+    fn render_marks_every_dropped_frame() {
+        let mut dropped = record(0, None, 16);
+        dropped.dispatched = None;
+        dropped.dropped_at_source = true;
+        let trace = FlowTrace {
+            name: "vid".into(),
+            stage_names: vec!["VD"],
+            records: vec![dropped.clone(), dropped],
+        };
+        let s = trace.render(10);
+        assert_eq!(s.matches("DROPPED AT SOURCE").count(), 2, "{s}");
+        // The drop line short-circuits: no dispatch/stage/finish columns.
+        for line in s.lines().skip(1) {
+            assert!(!line.contains("disp"), "{s}");
+            assert!(!line.contains("VD["), "{s}");
+        }
+    }
+
+    #[test]
     fn gantt_renders_spans_and_deadlines() {
         let trace = FlowTrace {
             name: "vid".into(),

@@ -252,12 +252,24 @@ impl<E> std::fmt::Debug for Scheduler<E> {
     }
 }
 
+/// Observer invoked with `(now, &event)` just before each dispatch.
+///
+/// Boxed because the engine stores at most one for the whole run; the
+/// indirection is outside the untraced build entirely.
+#[cfg(feature = "trace")]
+pub type DispatchHook<M> = Box<dyn FnMut(SimTime, &<M as Model>::Event)>;
+
 /// Drives a [`Model`] through simulated time.
 ///
 /// See the [crate-level example](crate).
 pub struct Engine<M: Model> {
     model: M,
     sched: Scheduler<M::Event>,
+    /// Observation point for telemetry: called with `(now, &event)` just
+    /// before every dispatch. Only exists under the `trace` feature, so the
+    /// default build's dispatch loop carries no branch for it.
+    #[cfg(feature = "trace")]
+    dispatch_hook: Option<DispatchHook<M>>,
 }
 
 impl<M: Model> Engine<M> {
@@ -266,6 +278,26 @@ impl<M: Model> Engine<M> {
         Engine {
             model,
             sched: Scheduler::new(),
+            #[cfg(feature = "trace")]
+            dispatch_hook: None,
+        }
+    }
+
+    /// Installs a hook called with `(now, &event)` immediately before each
+    /// event is handed to the model. One hook at a time; installing again
+    /// replaces the previous one.
+    #[cfg(feature = "trace")]
+    pub fn set_dispatch_hook(&mut self, hook: DispatchHook<M>) {
+        self.dispatch_hook = Some(hook);
+    }
+
+    /// Invokes the dispatch hook, if one is installed. Compiles to nothing
+    /// without the `trace` feature.
+    #[inline]
+    fn observe_dispatch(&mut self, _at: SimTime, _ev: &M::Event) {
+        #[cfg(feature = "trace")]
+        if let Some(hook) = self.dispatch_hook.as_mut() {
+            hook(_at, _ev);
         }
     }
 
@@ -297,7 +329,8 @@ impl<M: Model> Engine<M> {
     /// Dispatches a single event. Returns `false` if the calendar is empty.
     pub fn step(&mut self) -> bool {
         match self.sched.pop() {
-            Some((_, ev)) => {
+            Some((at, ev)) => {
+                self.observe_dispatch(at, &ev);
                 self.model.handle(ev, &mut self.sched);
                 true
             }
@@ -321,7 +354,8 @@ impl<M: Model> Engine<M> {
                 None => return RunOutcome::Drained,
                 Some(at) if at > horizon => return RunOutcome::HorizonReached,
                 Some(_) => {
-                    let (_, ev) = self.sched.pop().expect("peeked event");
+                    let (at, ev) = self.sched.pop().expect("peeked event");
+                    self.observe_dispatch(at, &ev);
                     self.model.handle(ev, &mut self.sched);
                 }
             }
@@ -501,6 +535,26 @@ mod tests {
         assert!(!eng.scheduler().cancel(front), "double-cancel is false");
         eng.run();
         assert_eq!(eng.model().seen, vec![(7, 1)]);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn dispatch_hook_observes_every_event_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut eng = Engine::new(Recorder::default());
+        eng.set_dispatch_hook(Box::new(move |at, ev: &u32| {
+            sink.borrow_mut().push((at.as_ns(), *ev));
+        }));
+        eng.scheduler().at(SimTime::from_ns(20), 2);
+        eng.scheduler().at(SimTime::from_ns(10), 1);
+        eng.scheduler().at(SimTime::from_ns(30), 3);
+        eng.run_until(SimTime::from_ns(20));
+        eng.run();
+        assert_eq!(*seen.borrow(), vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(eng.model().seen, *seen.borrow(), "hook matches model");
     }
 
     #[test]

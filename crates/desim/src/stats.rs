@@ -238,6 +238,55 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         (0..self.bins.len()).map(move |i| (self.bin_lo(i), self.bin_hi(i), self.bins[i]))
     }
+
+    /// Estimates quantile `q` in `[0, 1]` by linear interpolation inside
+    /// the bin containing the `q`-th sample (samples are assumed uniform
+    /// within a bin). Overflow samples pin the estimate to the top edge.
+    /// Returns 0 when the histogram is empty.
+    ///
+    /// The error is bounded by one bin width, so with bins sized for the
+    /// measurement (e.g. 1 ms frame-latency bins) this yields useful
+    /// p50/p95/p99 without retaining samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use desim::stats::Histogram;
+    /// let mut h = Histogram::new(0.0, 100.0, 100);
+    /// for i in 0..100 {
+    ///     h.push(i as f64 + 0.5);
+    /// }
+    /// assert!((h.quantile(0.5) - 50.0).abs() <= 1.0);
+    /// assert!((h.quantile(0.95) - 95.0).abs() <= 1.0);
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Rank of the q-th sample, 1-based nearest-rank, clamped into range.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if seen + c >= rank {
+                // Interpolate within bin i: the (rank - seen)-th of its c
+                // samples, assumed evenly spread across the bin.
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (rank - seen) as f64 / c as f64
+                };
+                return self.bin_lo(i) + self.width * frac;
+            }
+            seen += c;
+        }
+        // Rank falls in the overflow bin: all we know is "at or above hi".
+        self.bin_hi(self.bins.len() - 1)
+    }
 }
 
 /// Integral of a piecewise-constant signal over simulated time.
@@ -572,6 +621,48 @@ mod tests {
         assert_eq!(h.bin_lo(3), 3.0);
         assert_eq!(h.bin_hi(3), 4.0);
         assert!((h.fraction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.push((i % 100) as f64 + 0.5); // uniform over [0, 100)
+        }
+        assert!((h.quantile(0.5) - 50.0).abs() <= 1.0, "{}", h.quantile(0.5));
+        assert!(
+            (h.quantile(0.95) - 95.0).abs() <= 1.0,
+            "{}",
+            h.quantile(0.95)
+        );
+        assert!(
+            (h.quantile(0.99) - 99.0).abs() <= 1.0,
+            "{}",
+            h.quantile(0.99)
+        );
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_quantile_empty_and_overflow() {
+        let empty = Histogram::new(0.0, 10.0, 10);
+        assert_eq!(empty.quantile(0.5), 0.0);
+
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(1.0);
+        h.push(50.0); // overflow
+        h.push(60.0); // overflow
+                      // p99 lands among the overflow samples: pinned to the top edge.
+        assert_eq!(h.quantile(0.99), 10.0);
+        // A low quantile still resolves inside the binned range.
+        assert!(h.quantile(0.3) < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn histogram_quantile_rejects_bad_q() {
+        let _ = Histogram::new(0.0, 1.0, 1).quantile(1.5);
     }
 
     #[test]

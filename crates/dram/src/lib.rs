@@ -43,12 +43,16 @@
 pub mod channel;
 pub mod config;
 pub mod mapping;
+#[cfg(feature = "trace")]
+pub mod probe;
 pub mod request;
 pub mod stats;
 pub mod system;
 
 pub use config::{DramConfig, PagePolicy};
 pub use mapping::{AddressMapper, Place};
+#[cfg(feature = "trace")]
+pub use probe::DramProbe;
 pub use request::{Completion, MemOp, MemRequest};
 pub use stats::MemStats;
 pub use system::MemorySystem;

@@ -1,0 +1,62 @@
+//! Telemetry probe points (only with the `trace` cargo feature).
+//!
+//! The memory system stays engine- and telemetry-agnostic: a probe is just
+//! a boxed `FnMut(DramProbe)` the embedder installs with
+//! [`MemorySystem::set_probe`](crate::MemorySystem::set_probe); the
+//! simulator's tracing layer translates these into trace events. Without
+//! the feature, neither the callback field nor the emit sites exist.
+
+use desim::SimTime;
+
+use crate::request::MemOp;
+
+/// One observation from inside the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramProbe {
+    /// A line burst won arbitration and occupies its channel's data bus
+    /// from `start` to `done`.
+    Issue {
+        /// Channel index.
+        channel: usize,
+        /// Read or write.
+        op: MemOp,
+        /// Cache lines in the burst.
+        lines: u64,
+        /// When the data transfer begins.
+        start: SimTime,
+        /// When the data transfer ends.
+        done: SimTime,
+    },
+    /// A burst's data transfer finished and left the channel.
+    Complete {
+        /// Channel index.
+        channel: usize,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// The channel's request queue depth after an issue (sampled, not
+    /// every transient).
+    QueueDepth {
+        /// Channel index.
+        channel: usize,
+        /// Sample instant.
+        at: SimTime,
+        /// Bursts still waiting in the channel queue.
+        depth: usize,
+    },
+}
+
+/// Container for the installed probe; exists so `MemorySystem` can keep
+/// deriving `Debug` around a non-`Debug` closure.
+#[derive(Default)]
+pub struct ProbeSlot(pub(crate) Option<Box<dyn FnMut(DramProbe)>>);
+
+impl std::fmt::Debug for ProbeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ProbeSlot(installed)"
+        } else {
+            "ProbeSlot(empty)"
+        })
+    }
+}

@@ -8,6 +8,8 @@ use desim::SimTime;
 use crate::channel::{Burst, Channel, RowOutcome};
 use crate::config::DramConfig;
 use crate::mapping::AddressMapper;
+#[cfg(feature = "trace")]
+use crate::probe::{DramProbe, ProbeSlot};
 use crate::request::{Completion, MemOp, MemRequest};
 use crate::stats::MemStats;
 
@@ -51,6 +53,8 @@ pub struct MemorySystem {
     seq: u64,
     ready: Vec<Completion>,
     stats: MemStats,
+    #[cfg(feature = "trace")]
+    probe: ProbeSlot,
 }
 
 impl MemorySystem {
@@ -77,7 +81,17 @@ impl MemorySystem {
             seq: 0,
             ready: Vec::new(),
             stats: MemStats::new(),
+            #[cfg(feature = "trace")]
+            probe: ProbeSlot::default(),
         }
+    }
+
+    /// Installs a probe callback invoked at every
+    /// [`DramProbe`](crate::probe::DramProbe) observation point. One probe
+    /// at a time; installing again replaces the previous one.
+    #[cfg(feature = "trace")]
+    pub fn set_probe(&mut self, probe: Box<dyn FnMut(DramProbe)>) {
+        self.probe.0 = Some(probe);
     }
 
     /// The configuration this system was built with.
@@ -169,6 +183,22 @@ impl MemorySystem {
                     self.stats.activates.incr();
                 }
                 self.stats.busy_ns += (self.cfg.t_line * issued.burst.lines).as_ns();
+                #[cfg(feature = "trace")]
+                if let Some(p) = self.probe.0.as_mut() {
+                    let xfer = (self.cfg.t_line * issued.burst.lines).as_ns();
+                    p(DramProbe::Issue {
+                        channel: ci,
+                        op: issued.burst.op,
+                        lines: issued.burst.lines,
+                        start: SimTime::from_ns(issued.done.as_ns().saturating_sub(xfer)),
+                        done: issued.done,
+                    });
+                    p(DramProbe::QueueDepth {
+                        channel: ci,
+                        at: now,
+                        depth: ch.queued(),
+                    });
+                }
                 let fifo = &mut self.in_flight[ci];
                 debug_assert!(
                     fifo.back().is_none_or(|&(d, ..)| d <= issued.done),
@@ -255,6 +285,10 @@ impl MemorySystem {
             let (_, _, parent) = self.in_flight[ci].pop_front().expect("cached front exists");
             self.refresh_earliest();
             self.channels[ci].service_complete();
+            #[cfg(feature = "trace")]
+            if let Some(p) = self.probe.0.as_mut() {
+                p(DramProbe::Complete { channel: ci, at: t });
+            }
             any_freed = true;
             let p = &mut self.parents[parent];
             p.remaining -= 1;
@@ -399,6 +433,39 @@ mod tests {
             "parent table grew: {}",
             mem.parents.len()
         );
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn probe_sees_issue_and_complete_pairs() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<DramProbe>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut mem = system();
+        mem.set_probe(Box::new(move |p| sink.borrow_mut().push(p)));
+        mem.submit(SimTime::ZERO, MemRequest::new(0, 4096, MemOp::Read, 1));
+        mem.drain(SimTime::ZERO);
+        let probes = seen.borrow();
+        let issues = probes
+            .iter()
+            .filter(|p| matches!(p, DramProbe::Issue { .. }))
+            .count();
+        let completes = probes
+            .iter()
+            .filter(|p| matches!(p, DramProbe::Complete { .. }))
+            .count();
+        assert!(issues > 0, "no issue probes");
+        assert_eq!(issues, completes, "every issue must complete");
+        for p in probes.iter() {
+            if let DramProbe::Issue {
+                start, done, lines, ..
+            } = p
+            {
+                assert!(done > start);
+                assert!(*lines > 0);
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,18 @@ impl Default for AgentConfig {
     }
 }
 
+/// The timing of one fabric transfer: when it occupied the bus and when
+/// the payload reaches the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaTransfer {
+    /// When the transfer won the fabric (≥ the request instant).
+    pub start: SimTime,
+    /// When the transfer released the fabric.
+    pub end: SimTime,
+    /// When the payload arrives at the destination (`end` + head latency).
+    pub arrival: SimTime,
+}
+
 /// The System Agent's dynamic state: a serializing fabric.
 ///
 /// # Example
@@ -54,8 +66,8 @@ impl Default for AgentConfig {
 /// use desim::SimTime;
 /// use soc::{AgentConfig, SystemAgent};
 /// let mut sa = SystemAgent::new(AgentConfig::default_mobile());
-/// let arrive = sa.transfer(SimTime::ZERO, 1024);
-/// assert!(arrive > SimTime::ZERO);
+/// let xfer = sa.transfer(SimTime::ZERO, 1024);
+/// assert!(xfer.arrival > xfer.end && xfer.end > xfer.start);
 /// ```
 #[derive(Debug)]
 pub struct SystemAgent {
@@ -87,16 +99,21 @@ impl SystemAgent {
     }
 
     /// Moves `bytes` through the fabric starting no earlier than `now`;
-    /// returns the arrival instant at the destination. Transfers serialize
-    /// on the fabric.
-    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+    /// returns the transfer's full timing (fabric occupancy span plus the
+    /// arrival instant at the destination). Transfers serialize on the
+    /// fabric.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SaTransfer {
         let occupancy = SimDelta::from_secs_f64(bytes as f64 / self.cfg.bandwidth_bytes_per_sec);
         let start = now.max(self.fabric_free_at);
         self.fabric_free_at = start + occupancy;
         self.busy_ns += occupancy.as_ns();
         self.bytes.add(bytes);
         self.transfers.incr();
-        self.fabric_free_at + self.cfg.latency
+        SaTransfer {
+            start,
+            end: self.fabric_free_at,
+            arrival: self.fabric_free_at + self.cfg.latency,
+        }
     }
 
     /// Accounts a transfer's energy without occupying the fabric — used
@@ -132,8 +149,10 @@ mod tests {
             bandwidth_bytes_per_sec: 1e9, // 1 B/ns
             energy_pj_per_byte: 1.0,
         });
-        let arrive = sa.transfer(SimTime::ZERO, 1000);
-        assert_eq!(arrive, SimTime::from_ns(1100));
+        let xfer = sa.transfer(SimTime::ZERO, 1000);
+        assert_eq!(xfer.start, SimTime::ZERO);
+        assert_eq!(xfer.end, SimTime::from_ns(1000));
+        assert_eq!(xfer.arrival, SimTime::from_ns(1100));
     }
 
     #[test]
@@ -145,8 +164,9 @@ mod tests {
         });
         let a = sa.transfer(SimTime::ZERO, 1000);
         let b = sa.transfer(SimTime::ZERO, 1000);
-        assert_eq!(a, SimTime::from_ns(1100));
-        assert_eq!(b, SimTime::from_ns(2100), "second queues behind first");
+        assert_eq!(a.arrival, SimTime::from_ns(1100));
+        assert_eq!(b.start, a.end, "second queues behind first");
+        assert_eq!(b.arrival, SimTime::from_ns(2100));
         assert_eq!(sa.busy_ns, 2000);
     }
 

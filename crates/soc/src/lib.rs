@@ -27,7 +27,7 @@ pub mod ids;
 pub mod ip;
 pub mod power;
 
-pub use agent::{AgentConfig, SystemAgent};
+pub use agent::{AgentConfig, SaTransfer, SystemAgent};
 pub use buffer::LaneBuffer;
 pub use cpu::{CpuConfig, CpuCore, SleepState, Task};
 pub use ids::{CpuId, FlowId, IpKind, LaneId};

@@ -127,9 +127,10 @@ fn agent_serializes() {
         let mut last = SimTime::ZERO;
         let mut busy_expected = 0u64;
         for &s in &sizes {
-            let arrive = sa.transfer(SimTime::ZERO, s);
-            assert!(arrive >= last);
-            last = arrive;
+            let xfer = sa.transfer(SimTime::ZERO, s);
+            assert!(xfer.start >= last, "fabric spans must not overlap");
+            assert!(xfer.arrival >= xfer.end && xfer.end >= xfer.start);
+            last = xfer.end;
             busy_expected +=
                 SimDelta::from_secs_f64(s as f64 / sa.config().bandwidth_bytes_per_sec).as_ns();
         }

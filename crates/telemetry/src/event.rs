@@ -1,0 +1,183 @@
+//! The structured trace-event model.
+//!
+//! Events are deliberately small and `Copy`: a timestamp plus a
+//! discriminated payload referencing a [`TrackId`] (where the event
+//! belongs in the timeline UI) and a [`NameId`] (an interned label, so the
+//! hot path never allocates). Producers intern label strings once through
+//! their [`TraceSink`](crate::TraceSink) and then emit fixed-size events.
+
+/// An interned label. Resolve through the sink that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u32);
+
+/// The timeline group a track belongs to. Each group renders as one
+/// Perfetto *process* row; tracks within it as *threads*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrackGroup {
+    /// The event-calendar engine itself (dispatch cadence).
+    Engine,
+    /// One lane of one IP core: `a` = IP index, `b` = lane index.
+    IpLane,
+    /// One DRAM channel: `a` = channel index.
+    DramChannel,
+    /// The System Agent fabric.
+    SystemAgent,
+    /// One CPU core: `a` = core index.
+    Cpu,
+    /// One flow: `a` = flow index.
+    Flow,
+}
+
+impl TrackGroup {
+    /// Every group, in rendering order.
+    pub const ALL: [TrackGroup; 6] = [
+        TrackGroup::Engine,
+        TrackGroup::IpLane,
+        TrackGroup::DramChannel,
+        TrackGroup::SystemAgent,
+        TrackGroup::Cpu,
+        TrackGroup::Flow,
+    ];
+
+    /// Human name of the group (the Perfetto process name).
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackGroup::Engine => "Engine",
+            TrackGroup::IpLane => "IP lanes",
+            TrackGroup::DramChannel => "DRAM channels",
+            TrackGroup::SystemAgent => "System Agent",
+            TrackGroup::Cpu => "CPU cores",
+            TrackGroup::Flow => "Flows",
+        }
+    }
+
+    /// A stable small integer for use as a Perfetto `pid`.
+    pub fn pid(self) -> u32 {
+        match self {
+            TrackGroup::Engine => 1,
+            TrackGroup::IpLane => 2,
+            TrackGroup::DramChannel => 3,
+            TrackGroup::SystemAgent => 4,
+            TrackGroup::Cpu => 5,
+            TrackGroup::Flow => 6,
+        }
+    }
+}
+
+/// One track (a horizontal timeline row): a group plus two small indices
+/// whose meaning the group defines (IP/lane, channel, core, flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId {
+    /// Which group the track lives under.
+    pub group: TrackGroup,
+    /// First index (IP, channel, core or flow).
+    pub a: u16,
+    /// Second index (lane), zero when unused.
+    pub b: u16,
+}
+
+impl TrackId {
+    /// Builds a track id.
+    pub fn new(group: TrackGroup, a: u16, b: u16) -> Self {
+        TrackId { group, a, b }
+    }
+
+    /// A stable small integer for use as a Perfetto `tid` within the
+    /// group's process.
+    pub fn tid(self) -> u32 {
+        self.a as u32 * 1000 + self.b as u32 + 1
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A slice opens on `track` (pairs with the next [`EventKind::SpanEnd`]
+    /// on the same track; spans nest LIFO).
+    SpanBegin {
+        /// The track the slice opens on.
+        track: TrackId,
+        /// Interned slice label.
+        name: NameId,
+    },
+    /// The innermost open slice on `track` closes.
+    SpanEnd {
+        /// The track whose slice closes.
+        track: TrackId,
+    },
+    /// A zero-duration marker.
+    Instant {
+        /// The track the marker sits on.
+        track: TrackId,
+        /// Interned marker label.
+        name: NameId,
+    },
+    /// A sampled counter value (occupancy, queue depth, power state).
+    Counter {
+        /// The track the counter belongs to.
+        track: TrackId,
+        /// Interned counter-series name.
+        name: NameId,
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+impl EventKind {
+    /// The track this payload renders on.
+    pub fn track(&self) -> TrackId {
+        match *self {
+            EventKind::SpanBegin { track, .. }
+            | EventKind::SpanEnd { track }
+            | EventKind::Instant { track, .. }
+            | EventKind::Counter { track, .. } => track,
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event, in nanoseconds.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_have_distinct_pids_and_labels() {
+        let mut pids: Vec<u32> = TrackGroup::ALL.iter().map(|g| g.pid()).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), TrackGroup::ALL.len());
+        for g in TrackGroup::ALL {
+            assert!(!g.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn tids_separate_lanes() {
+        let a = TrackId::new(TrackGroup::IpLane, 3, 0);
+        let b = TrackId::new(TrackGroup::IpLane, 3, 1);
+        assert_ne!(a.tid(), b.tid());
+    }
+
+    #[test]
+    fn kind_reports_its_track() {
+        let t = TrackId::new(TrackGroup::Cpu, 2, 0);
+        assert_eq!(EventKind::SpanEnd { track: t }.track(), t);
+        assert_eq!(
+            EventKind::Counter {
+                track: t,
+                name: NameId(0),
+                value: 1.0
+            }
+            .track(),
+            t
+        );
+    }
+}

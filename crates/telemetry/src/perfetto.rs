@@ -1,0 +1,365 @@
+//! Chrome-trace-event export (the JSON flavour `ui.perfetto.dev` and
+//! `chrome://tracing` both load).
+//!
+//! The output is a single object `{"traceEvents": [...],
+//! "displayTimeUnit": "ns"}`. Track groups become *processes* (one `pid`
+//! each, named by an `"M"` metadata event), tracks become *threads*
+//! (`tid`), span pairs become `"X"` complete events with microsecond
+//! `ts`/`dur` (fractional, so nanosecond resolution survives), instants
+//! become `"i"` events, and counters become `"C"` events.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, TrackGroup, TrackId};
+use crate::json::{self, escape, fmt_f64, Json};
+use crate::sink::RingRecorder;
+
+/// Converts nanoseconds to the microsecond `ts`/`dur` fields, keeping
+/// nanosecond resolution as a fraction.
+fn us(t_ns: u64) -> String {
+    fmt_f64(t_ns as f64 / 1000.0)
+}
+
+/// Exports the recorder's contents as a Chrome trace-event JSON document.
+///
+/// `track_name` maps each [`TrackId`] to its display label (the caller
+/// knows what IP index 3 is called; this crate does not).
+///
+/// Span begin/end events pair LIFO per track. An `end` with no open span
+/// (its begin was overwritten in the ring) is dropped; a `begin` still
+/// open at the end of the recording is closed at the last timestamp seen.
+pub fn export_chrome_json(rec: &RingRecorder, track_name: &dyn Fn(TrackId) -> String) -> String {
+    let mut body = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |body: &mut String, ev: String| {
+        if !std::mem::take(&mut first) {
+            body.push(',');
+        }
+        body.push('\n');
+        body.push_str(&ev);
+    };
+
+    // Discover every track present, in deterministic order.
+    let mut tracks: BTreeMap<TrackId, ()> = BTreeMap::new();
+    let mut groups: BTreeMap<TrackGroup, ()> = BTreeMap::new();
+    let mut last_t = 0u64;
+    for ev in rec.iter() {
+        let track = ev.kind.track();
+        tracks.insert(track, ());
+        groups.insert(track.group, ());
+        last_t = last_t.max(ev.t_ns);
+    }
+
+    // Metadata: process names per group, thread names per track.
+    for (group, ()) in &groups {
+        push(
+            &mut body,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                group.pid(),
+                escape(group.label())
+            ),
+        );
+    }
+    for (track, ()) in &tracks {
+        push(
+            &mut body,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                track.group.pid(),
+                track.tid(),
+                escape(&track_name(*track))
+            ),
+        );
+    }
+
+    // Body events. Spans pair LIFO per track; each open entry remembers
+    // its begin time and label.
+    let mut open: BTreeMap<TrackId, Vec<(u64, String)>> = BTreeMap::new();
+    for ev in rec.iter() {
+        match ev.kind {
+            EventKind::SpanBegin { track, name } => {
+                open.entry(track)
+                    .or_default()
+                    .push((ev.t_ns, rec.name(name).to_string()));
+            }
+            EventKind::SpanEnd { track } => {
+                if let Some((start, label)) = open.get_mut(&track).and_then(Vec::pop) {
+                    push(
+                        &mut body,
+                        format!(
+                            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                            escape(&label),
+                            track.group.pid(),
+                            track.tid(),
+                            us(start),
+                            us(ev.t_ns.saturating_sub(start))
+                        ),
+                    );
+                }
+                // else: begin was lost to ring overwrite; drop the end.
+            }
+            EventKind::Instant { track, name } => {
+                push(
+                    &mut body,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                        escape(rec.name(name)),
+                        track.group.pid(),
+                        track.tid(),
+                        us(ev.t_ns)
+                    ),
+                );
+            }
+            EventKind::Counter { track, name, value } => {
+                push(
+                    &mut body,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                        escape(rec.name(name)),
+                        track.group.pid(),
+                        track.tid(),
+                        us(ev.t_ns),
+                        fmt_f64(value)
+                    ),
+                );
+            }
+        }
+    }
+
+    // Close any spans still open at the end of the recording.
+    for (track, stack) in &open {
+        for (start, label) in stack.iter().rev() {
+            push(
+                &mut body,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                    escape(label),
+                    track.group.pid(),
+                    track.tid(),
+                    us(*start),
+                    us(last_t.saturating_sub(*start))
+                ),
+            );
+        }
+    }
+
+    body.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    body
+}
+
+/// Summary statistics from validating a Chrome trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// `"X"` complete (span) events.
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"C"` counter samples.
+    pub counters: usize,
+    /// `"M"` metadata records.
+    pub metadata: usize,
+}
+
+/// Validates that `doc` is a well-formed Chrome trace-event JSON object
+/// and returns event counts. Checks the structural rules the Perfetto UI
+/// relies on: a top-level `traceEvents` array, and per event a `ph`
+/// string plus the fields that phase requires (`ts`/`dur` numbers for
+/// `"X"`, `ts` for `"i"`/`"C"`, `args.value` for `"C"`, non-negative
+/// times everywhere).
+pub fn validate_chrome_trace(doc: &str) -> Result<TraceSummary, String> {
+    let root = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    let mut sum = TraceSummary::default();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing ph"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            ev.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(&format!("missing numeric {key}")))
+        };
+        if ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(ctx("missing name"));
+        }
+        match ph {
+            "X" => {
+                if num("ts")? < 0.0 || num("dur")? < 0.0 {
+                    return Err(ctx("negative ts/dur"));
+                }
+                num("pid")?;
+                num("tid")?;
+                sum.spans += 1;
+            }
+            "i" | "I" => {
+                if num("ts")? < 0.0 {
+                    return Err(ctx("negative ts"));
+                }
+                sum.instants += 1;
+            }
+            "C" => {
+                if num("ts")? < 0.0 {
+                    return Err(ctx("negative ts"));
+                }
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ctx("counter missing args.value"))?;
+                sum.counters += 1;
+            }
+            "M" => {
+                sum.metadata += 1;
+            }
+            other => return Err(ctx(&format!("unsupported phase '{other}'"))),
+        }
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::TraceSink;
+
+    fn namer(t: TrackId) -> String {
+        format!("{}-{}-{}", t.group.label(), t.a, t.b)
+    }
+
+    fn rec_with(events: &[(u64, EventKind)]) -> RingRecorder {
+        let mut rec = RingRecorder::new(1024);
+        for &(t_ns, kind) in events {
+            rec.record(TraceEvent { t_ns, kind });
+        }
+        rec
+    }
+
+    #[test]
+    fn exports_valid_spans_instants_counters() {
+        let mut rec = RingRecorder::new(1024);
+        let work = rec.intern("decode");
+        let drop_n = rec.intern("drop");
+        let occ = rec.intern("occupancy");
+        let lane = TrackId::new(TrackGroup::IpLane, 0, 0);
+        let ch = TrackId::new(TrackGroup::DramChannel, 1, 0);
+        rec.record(TraceEvent {
+            t_ns: 1000,
+            kind: EventKind::SpanBegin {
+                track: lane,
+                name: work,
+            },
+        });
+        rec.record(TraceEvent {
+            t_ns: 1500,
+            kind: EventKind::Counter {
+                track: ch,
+                name: occ,
+                value: 3.0,
+            },
+        });
+        rec.record(TraceEvent {
+            t_ns: 2500,
+            kind: EventKind::SpanEnd { track: lane },
+        });
+        rec.record(TraceEvent {
+            t_ns: 2600,
+            kind: EventKind::Instant {
+                track: lane,
+                name: drop_n,
+            },
+        });
+        let doc = export_chrome_json(&rec, &namer);
+        let sum = validate_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(sum.spans, 1);
+        assert_eq!(sum.instants, 1);
+        assert_eq!(sum.counters, 1);
+        // Two groups + two tracks worth of metadata.
+        assert_eq!(sum.metadata, 4);
+        // Span converted to fractional microseconds.
+        assert!(doc.contains("\"ts\":1,\"dur\":1.5"), "doc: {doc}");
+    }
+
+    #[test]
+    fn unmatched_end_is_dropped_and_unmatched_begin_is_closed() {
+        let lane = TrackId::new(TrackGroup::IpLane, 0, 0);
+        let mut rec = RingRecorder::new(1024);
+        let name = rec.intern("w");
+        // End with no begin (simulates ring overwrite), then a dangling begin.
+        rec.record(TraceEvent {
+            t_ns: 10,
+            kind: EventKind::SpanEnd { track: lane },
+        });
+        rec.record(TraceEvent {
+            t_ns: 2000,
+            kind: EventKind::SpanBegin { track: lane, name },
+        });
+        rec.record(TraceEvent {
+            t_ns: 9000,
+            kind: EventKind::Instant { track: lane, name },
+        });
+        let doc = export_chrome_json(&rec, &namer);
+        let sum = validate_chrome_trace(&doc).expect("valid trace");
+        assert_eq!(sum.spans, 1, "dangling begin closed at last timestamp");
+        assert!(doc.contains("\"ts\":2,\"dur\":7"), "doc: {doc}");
+    }
+
+    #[test]
+    fn nested_spans_pair_lifo() {
+        let lane = TrackId::new(TrackGroup::IpLane, 2, 1);
+        let mut rec = RingRecorder::new(1024);
+        let outer = rec.intern("outer");
+        let inner = rec.intern("inner");
+        rec.record(TraceEvent {
+            t_ns: 0,
+            kind: EventKind::SpanBegin {
+                track: lane,
+                name: outer,
+            },
+        });
+        rec.record(TraceEvent {
+            t_ns: 100,
+            kind: EventKind::SpanBegin {
+                track: lane,
+                name: inner,
+            },
+        });
+        rec.record(TraceEvent {
+            t_ns: 200,
+            kind: EventKind::SpanEnd { track: lane },
+        });
+        rec.record(TraceEvent {
+            t_ns: 300,
+            kind: EventKind::SpanEnd { track: lane },
+        });
+        let doc = export_chrome_json(&rec, &namer);
+        let sum = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(sum.spans, 2);
+        assert!(doc.contains(
+            "\"name\":\"inner\",\"ph\":\"X\",\"pid\":2,\"tid\":2002,\"ts\":0.1,\"dur\":0.1"
+        ));
+    }
+
+    #[test]
+    fn empty_recording_exports_empty_valid_doc() {
+        let rec = rec_with(&[]);
+        let doc = export_chrome_json(&rec, &namer);
+        let sum = validate_chrome_trace(&doc).unwrap();
+        assert_eq!(sum, TraceSummary::default());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"n\",\"ph\":\"C\",\"ts\":1,\"pid\":1,\"tid\":1,\"args\":{}}]}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Trace sinks: where producers send [`TraceEvent`]s.
+//!
+//! Two implementations ship with the crate: [`NullSink`] (discards
+//! everything; the runtime-disabled path) and [`RingRecorder`] (a bounded
+//! ring buffer that keeps the most recent events and counts what it had to
+//! drop — a long run can never exhaust memory).
+
+use desim::FxHashMap;
+
+use crate::event::{NameId, TraceEvent};
+
+/// A consumer of trace events.
+///
+/// Producers intern every label once up front (at flow/track setup time)
+/// and then emit fixed-size [`TraceEvent`]s, so a recording hot path
+/// performs no allocation and no string hashing.
+pub trait TraceSink {
+    /// Interns a label, returning a stable id for use in events.
+    fn intern(&mut self, name: &str) -> NameId;
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+    /// Whether this sink actually stores events (lets producers skip
+    /// assembling expensive event streams for a null sink).
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn intern(&mut self, _name: &str) -> NameId {
+        NameId(0)
+    }
+    fn record(&mut self, _ev: TraceEvent) {}
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A bounded ring-buffer recorder: keeps the most recent `capacity`
+/// events, counting overwritten ones, and owns the interned name table.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::{EventKind, NameId, RingRecorder, TraceEvent, TraceSink, TrackGroup, TrackId};
+/// let mut rec = RingRecorder::new(2);
+/// let n = rec.intern("work");
+/// let track = TrackId::new(TrackGroup::Cpu, 0, 0);
+/// for t in 0..3 {
+///     rec.record(TraceEvent { t_ns: t, kind: EventKind::Instant { track, name: n } });
+/// }
+/// assert_eq!(rec.len(), 2);
+/// assert_eq!(rec.dropped(), 1);
+/// assert_eq!(rec.name(n), "work");
+/// assert_eq!(rec.iter().next().unwrap().t_ns, 1, "oldest surviving event");
+/// ```
+#[derive(Debug)]
+pub struct RingRecorder {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Total events ever recorded; `written - len` were dropped.
+    written: u64,
+    names: Vec<String>,
+    ids: FxHashMap<String, u32>,
+    dispatches: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingRecorder {
+            buf: Vec::with_capacity(capacity.min(1 << 16)),
+            cap: capacity,
+            written: 0,
+            names: Vec::new(),
+            ids: FxHashMap::default(),
+            dispatches: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.written - self.buf.len() as u64
+    }
+
+    /// Total events ever offered to the recorder.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Notes one raw engine dispatch (the engine-loop heartbeat; far too
+    /// frequent to store as events, so it is only counted).
+    pub fn note_dispatch(&mut self) {
+        self.dispatches += 1;
+    }
+
+    /// Raw engine dispatches observed via [`RingRecorder::note_dispatch`].
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Resolves an interned name.
+    pub fn name(&self, id: NameId) -> &str {
+        self.names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// All interned names, in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterates the surviving events in chronological (recording) order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let head = if self.written as usize > self.cap {
+            (self.written as usize) % self.cap
+        } else {
+            0
+        };
+        self.buf[head..].iter().chain(self.buf[..head].iter())
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.ids.get(name) {
+            return NameId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        NameId(id)
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            let at = (self.written as usize) % self.cap;
+            self.buf[at] = ev;
+        }
+        self.written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TrackGroup, TrackId};
+
+    fn instant(rec: &mut RingRecorder, t: u64) {
+        let name = rec.intern("x");
+        let track = TrackId::new(TrackGroup::Engine, 0, 0);
+        rec.record(TraceEvent {
+            t_ns: t,
+            kind: EventKind::Instant { track, name },
+        });
+    }
+
+    #[test]
+    fn interning_is_stable_and_deduplicated() {
+        let mut rec = RingRecorder::new(8);
+        let a = rec.intern("alpha");
+        let b = rec.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(rec.intern("alpha"), a);
+        assert_eq!(rec.name(a), "alpha");
+        assert_eq!(rec.names().len(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut rec = RingRecorder::new(3);
+        for t in 0..10 {
+            instant(&mut rec, t);
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 7);
+        assert_eq!(rec.written(), 10);
+        let ts: Vec<u64> = rec.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_order() {
+        let mut rec = RingRecorder::new(16);
+        for t in [3, 5, 9] {
+            instant(&mut rec, t);
+        }
+        assert_eq!(rec.dropped(), 0);
+        let ts: Vec<u64> = rec.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = NullSink;
+        assert!(!s.is_enabled());
+        let n = s.intern("anything");
+        s.record(TraceEvent {
+            t_ns: 1,
+            kind: EventKind::Instant {
+                track: TrackId::new(TrackGroup::Cpu, 0, 0),
+                name: n,
+            },
+        });
+    }
+
+    #[test]
+    fn dispatch_counter_accumulates() {
+        let mut rec = RingRecorder::new(1);
+        rec.note_dispatch();
+        rec.note_dispatch();
+        assert_eq!(rec.dispatches(), 2);
+    }
+}

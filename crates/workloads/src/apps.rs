@@ -282,7 +282,9 @@ mod tests {
                 // Table 1 lists flows from the data producer; CPU-origin
                 // stages are implicit in our model (the CPU is not an IP).
                 assert_eq!(&flow_ips, chain, "{} flow {}", app.id(), flow.name);
-                flow.validate().unwrap();
+                flow.validate().unwrap_or_else(|e| {
+                    panic!("{} flow {:?} failed validation: {e}", app.id(), flow.name)
+                });
             }
         }
     }

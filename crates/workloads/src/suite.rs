@@ -148,7 +148,9 @@ mod tests {
             let flows = spec.flows();
             assert!(!flows.is_empty());
             for f in &flows {
-                f.validate().unwrap();
+                f.validate().unwrap_or_else(|e| {
+                    panic!("{} flow {:?} failed validation: {e}", w.id(), f.name)
+                });
             }
             // Flow names are unique.
             let mut names: Vec<&str> = flows.iter().map(|f| f.name.as_str()).collect();
