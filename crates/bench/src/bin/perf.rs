@@ -54,6 +54,15 @@ fn main() {
             .unwrap_or_else(|_| panic!("--assert-within wants a percentage, got '{v}'"))
     });
     let baseline_path = get("--baseline").unwrap_or_else(|| tracked.to_string());
+    // Read the baseline up front: with default paths the measurement is
+    // written over the baseline file, and reading it afterwards would
+    // compare the run against itself (a vacuous assert).
+    let baseline = assert_within.map(|_| {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        telemetry::json::parse(&text)
+            .unwrap_or_else(|e| panic!("baseline {baseline_path} is not valid JSON: {e}"))
+    });
     let settings = RunSettings::with_ms(ms);
     let units = pinned_units();
 
@@ -99,10 +108,7 @@ fn main() {
     );
 
     if let Some(pct) = assert_within {
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let base = telemetry::json::parse(&text)
-            .unwrap_or_else(|e| panic!("baseline {baseline_path} is not valid JSON: {e}"));
+        let base = baseline.expect("parsed before the run");
         let base_eps = base
             .get("events_per_sec")
             .and_then(|v| v.as_f64())

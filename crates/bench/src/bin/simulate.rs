@@ -5,6 +5,7 @@
 //! simulate --file my.flows --scheme baseline --device nexus7 --timeline
 //! simulate --file my.flows --metrics metrics.json
 //! simulate --file my.flows --trace trace.json   # needs --features trace
+//! simulate --file my.flows --audit              # needs --features audit
 //! echo 'flow v fps=30 src=62500\nstage VD out=3110400\nstage DC out=0' | simulate --scheme vip
 //! ```
 //!
@@ -12,7 +13,11 @@
 //! energy accounts, flow-time percentiles) as JSON. `--trace` writes a
 //! Chrome-trace-event JSON timeline loadable in <https://ui.perfetto.dev>;
 //! it requires the `trace` cargo feature, which is off by default so the
-//! measured binary stays on the zero-cost path.
+//! measured binary stays on the zero-cost path. `--audit` runs the
+//! incremental runtime sanitizer (event-time monotonicity, buffer
+//! occupancy, EDF order, frame conservation) and prints its check
+//! summary; it requires the `audit` cargo feature, off by default for the
+//! same reason, and never changes the simulation result.
 //!
 //! The file format is documented in `workloads::specfile`.
 
@@ -42,6 +47,27 @@ fn device_by_name(s: &str) -> Option<Device> {
     }
 }
 
+/// Runs with the sanitizer armed and prints its check summary on stderr.
+#[cfg(feature = "audit")]
+fn run_with_audit(
+    cfg: vip_core::SystemConfig,
+    flows: Vec<vip_core::FlowSpec>,
+) -> (vip_core::SystemReport, Vec<vip_core::FlowTrace>) {
+    let (report, summary) = SystemSim::run_audited(cfg, flows);
+    eprint!("{summary}");
+    (report, Vec::new())
+}
+
+/// Placeholder so the call site compiles; `--audit` bails before reaching
+/// it when the feature is off.
+#[cfg(not(feature = "audit"))]
+fn run_with_audit(
+    _cfg: vip_core::SystemConfig,
+    _flows: Vec<vip_core::FlowSpec>,
+) -> (vip_core::SystemReport, Vec<vip_core::FlowTrace>) {
+    unreachable!("--audit is rejected without the audit feature")
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
@@ -54,7 +80,7 @@ fn main() {
         eprintln!(
             "usage: simulate [--file <path>] [--scheme baseline|fb|chained|vip] \
              [--device nexus7|memopad8|s4|s5|table3] [--ms N] [--timeline] \
-             [--metrics <out.json>] [--trace <out.json>] [--trace-capacity N]"
+             [--metrics <out.json>] [--trace <out.json>] [--trace-capacity N] [--audit]"
         );
         std::process::exit(2);
     };
@@ -95,6 +121,18 @@ fn main() {
         );
     }
 
+    let audit_on = argv.iter().any(|a| a == "--audit");
+    #[cfg(not(feature = "audit"))]
+    if audit_on {
+        bail(
+            "--audit requires the `audit` feature: \
+             cargo run -p vip-bench --features audit --bin simulate -- ...",
+        );
+    }
+    if audit_on && trace_out.is_some() {
+        bail("--audit and --trace are mutually exclusive; pick one observer per run");
+    }
+
     #[cfg(feature = "trace")]
     let (report, traces) = if let Some(path) = &trace_out {
         let capacity: usize = get("--trace-capacity")
@@ -111,11 +149,17 @@ fn main() {
             session.engine_dispatches(),
         );
         (report, Vec::new())
+    } else if audit_on {
+        run_with_audit(cfg, flows)
     } else {
         SystemSim::run_detailed(cfg, flows)
     };
     #[cfg(not(feature = "trace"))]
-    let (report, traces) = SystemSim::run_detailed(cfg, flows);
+    let (report, traces) = if audit_on {
+        run_with_audit(cfg, flows)
+    } else {
+        SystemSim::run_detailed(cfg, flows)
+    };
 
     if let Some(path) = get("--metrics") {
         std::fs::write(&path, report.metrics().to_json())
@@ -161,9 +205,8 @@ fn main() {
         for t in &traces {
             print!("{}", t.render(12));
         }
-        #[cfg(feature = "trace")]
-        if trace_out.is_some() {
-            eprintln!("note: --timeline is unavailable in the same run as --trace");
+        if traces.is_empty() {
+            eprintln!("note: --timeline is unavailable in the same run as --trace or --audit");
         }
     }
 }

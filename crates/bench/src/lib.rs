@@ -12,6 +12,8 @@
 //! figures --exp fig15 --ms 200 --seed 7
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod experiments;
 pub mod runner;
 pub mod table;

@@ -92,6 +92,29 @@ impl Unit {
             Unit::Wkld(w) => run_workload(w, scheme, settings),
         }
     }
+
+    /// Runs this unit under a scheme with the runtime sanitizer armed.
+    ///
+    /// The report is digest-bit-identical to [`Unit::run`]'s (the golden
+    /// test proves it over the whole pinned matrix); the summary counts
+    /// the invariant checks that passed.
+    #[cfg(feature = "audit")]
+    pub fn run_audited(
+        self,
+        scheme: Scheme,
+        settings: RunSettings,
+    ) -> (SystemReport, vip_core::AuditSummary) {
+        match self {
+            Unit::App(a) => {
+                let spec = a.spec(settings.seed, 0);
+                SystemSim::run_audited(settings.config(scheme), spec.flows)
+            }
+            Unit::Wkld(w) => {
+                let spec = w.spec(settings.seed);
+                SystemSim::run_audited(settings.config(scheme), spec.flows())
+            }
+        }
+    }
 }
 
 /// The full evaluation matrix: every unit under every scheme. Figs 15,

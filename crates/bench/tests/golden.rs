@@ -214,6 +214,51 @@ fn full_matrix_matches_pinned_golden_digests() {
     );
 }
 
+/// Every cell of the full matrix, run with the `audit` sanitizer armed,
+/// still produces the pinned golden digest: the auditor observes without
+/// perturbing a single result bit, and every cell passes its invariant
+/// checks (a violation panics the run).
+#[cfg(feature = "audit")]
+#[test]
+fn audited_full_matrix_matches_pinned_golden_digests() {
+    let units = Unit::all();
+    let mut bad = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = units
+            .iter()
+            .enumerate()
+            .map(|(u, &unit)| {
+                scope.spawn(move || {
+                    let mut row = Vec::new();
+                    for (s, &scheme) in Scheme::ALL.iter().enumerate() {
+                        let (report, summary) = unit.run_audited(scheme, settings());
+                        assert!(summary.time_checks > 0, "audit hooks never fired");
+                        row.push((u, s, report.digest()));
+                    }
+                    row
+                })
+            })
+            .collect();
+        for h in handles {
+            for (u, s, got) in h.join().expect("audited cell panicked") {
+                let want = GOLDEN_DIGESTS[u].1[s];
+                if got != want {
+                    bad.push(format!(
+                        "{}/{}: audited got {got:#018x}, pinned {want:#018x}",
+                        GOLDEN_DIGESTS[u].0,
+                        Scheme::ALL[s].label()
+                    ));
+                }
+            }
+        }
+    });
+    assert!(
+        bad.is_empty(),
+        "auditing perturbed simulation results:\n{}",
+        bad.join("\n")
+    );
+}
+
 /// The matrix digest is independent of the worker count: 1 (strictly
 /// sequential), 2, and 8 workers all reproduce the same cells, which also
 /// makes each pair a repeated-run determinism check under different

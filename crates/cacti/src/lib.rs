@@ -25,6 +25,8 @@
 //! assert!(buf.area_mm2() < SramSpec::new(65536, 64).area_mm2());
 //! ```
 
+#![deny(unsafe_code)]
+
 use std::fmt;
 
 /// Description of a small SRAM array (one flow-buffer lane).

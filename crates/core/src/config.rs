@@ -281,8 +281,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        use std::collections::HashSet;
-        let set: HashSet<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        let set: desim::FxHashSet<&str> = Scheme::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(set.len(), 5);
     }
 

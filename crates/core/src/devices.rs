@@ -174,8 +174,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        use std::collections::HashSet;
-        let names: HashSet<&str> = Device::ALL.iter().map(|d| d.name()).collect();
+        let names: desim::FxHashSet<&str> = Device::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names.len(), Device::ALL.len());
     }
 }

@@ -50,6 +50,9 @@
 //! assert_eq!(report.frames_dropped_at_source, 0);
 //! ```
 
+#![deny(unsafe_code)]
+
+pub mod audit;
 pub mod chain;
 pub mod config;
 pub mod devices;
@@ -60,6 +63,7 @@ pub mod sim;
 pub mod telem;
 pub mod trace;
 
+pub use audit::{AuditSummary, Auditor};
 pub use chain::{ChainDescriptor, ChainId, Platform};
 pub use config::{BackgroundLoad, CpuWork, SchedPolicy, Scheme, SystemConfig};
 pub use devices::Device;

@@ -128,57 +128,57 @@ pub struct IpReport {
 #[derive(Debug, Clone)]
 pub struct SystemReport {
     /// The scheme simulated.
-    pub scheme: Scheme,
+    pub scheme: Scheme, // digest: included
     /// Simulated span.
-    pub duration: SimDelta,
+    pub duration: SimDelta, // digest: included
     /// Energy by component.
-    pub energy: EnergyBreakdown,
+    pub energy: EnergyBreakdown, // digest: included
     /// Frames whose nominal source time fell inside the run (all flows).
-    pub frames_sourced: u64,
+    pub frames_sourced: u64, // digest: included
     /// Frames that completed end to end.
-    pub frames_completed: u64,
+    pub frames_completed: u64, // digest: included
     /// QoS violations (late + dropped).
-    pub frames_violated: u64,
+    pub frames_violated: u64, // digest: included
     /// Drops at source queues.
-    pub frames_dropped_at_source: u64,
+    pub frames_dropped_at_source: u64, // digest: included
     /// Interrupts delivered to CPU cores.
-    pub interrupts: u64,
+    pub interrupts: u64, // digest: included
     /// Burst rollbacks performed by interactive flows (paper Fig 11).
-    pub rollbacks: u64,
+    pub rollbacks: u64, // digest: included
     /// Sum of CPU active time across cores, ns.
-    pub cpu_active_ns: u64,
+    pub cpu_active_ns: u64, // digest: included
     /// Instructions retired across cores.
-    pub cpu_instructions: u64,
+    pub cpu_instructions: u64, // digest: included
     /// CPU energy alone (subset of `energy`), J.
-    pub cpu_energy_j: f64,
+    pub cpu_energy_j: f64, // digest: included
     /// CPU energy of the background (non-media) load, reported separately
     /// and excluded from `energy` (the paper's per-frame energy is the
     /// media subsystem's).
-    pub background_cpu_j: f64,
+    pub background_cpu_j: f64, // digest: included
     /// Per-flow reports, in input order.
-    pub flows: Vec<FlowReport>,
+    pub flows: Vec<FlowReport>, // digest: included
     /// Per-IP reports for IPs that saw work.
-    pub ips: Vec<IpReport>,
+    pub ips: Vec<IpReport>, // digest: included
     /// Average consumed DRAM bandwidth, GB/s.
-    pub mem_avg_gbps: f64,
+    pub mem_avg_gbps: f64, // digest: included
     /// Fraction of 1 ms windows with DRAM bandwidth above 80 % of peak.
-    pub mem_frac_above_80pct: f64,
+    pub mem_frac_above_80pct: f64, // digest: included
     /// DRAM bandwidth timeline (GB/s per 1 ms window).
-    pub mem_bw_windows_gbps: Vec<f64>,
+    pub mem_bw_windows_gbps: Vec<f64>, // digest: included
     /// Bytes moved through DRAM.
-    pub mem_bytes: u64,
+    pub mem_bytes: u64, // digest: included
     /// Bytes switched through the System Agent.
-    pub sa_bytes: u64,
+    pub sa_bytes: u64, // digest: included
     /// Mean flow time over completed frames (all flows).
-    pub avg_flow_time: SimDelta,
+    pub avg_flow_time: SimDelta, // digest: included
     /// Median flow time over completed frames (all flows).
-    pub p50_flow_time: SimDelta,
+    pub p50_flow_time: SimDelta, // digest: excluded
     /// 95th-percentile flow time over completed frames (all flows).
-    pub p95_flow_time: SimDelta,
+    pub p95_flow_time: SimDelta, // digest: included
     /// 99th-percentile flow time over completed frames (all flows).
-    pub p99_flow_time: SimDelta,
+    pub p99_flow_time: SimDelta, // digest: excluded
     /// Events the simulation dispatched (diagnostics).
-    pub events: u64,
+    pub events: u64, // digest: included
 }
 
 impl SystemReport {

@@ -33,6 +33,7 @@ use desim::{Engine, FxHashMap, Model, Scheduler, SimDelta, SimTime};
 use dram::{Completion, MemOp, MemRequest, MemorySystem};
 use soc::{CpuCore, IpConfig, IpKind, IpStats, LaneBuffer, SystemAgent, Task};
 
+use crate::audit::Auditor;
 use crate::config::{SchedPolicy, Scheme, SystemConfig};
 use crate::flow::{FlowSpec, SourceKind};
 use crate::header::HeaderPacket;
@@ -220,6 +221,9 @@ pub struct SystemSim {
     /// Telemetry facade: a zero-sized no-op unless the `trace` feature is
     /// on *and* the run was started via `run_traced`.
     tracer: Tracer,
+    /// Sanitizer facade: a zero-sized no-op unless the `audit` feature is
+    /// on *and* the run was started via `run_audited`.
+    audit: Auditor,
 }
 
 impl SystemSim {
@@ -317,6 +321,7 @@ impl SystemSim {
             bg_instructions: 0,
             end,
             tracer: Tracer::disabled(),
+            audit: Auditor::disabled(),
             flows: flows_rt,
             ips,
             cfg,
@@ -379,6 +384,32 @@ impl SystemSim {
         let events = engine.scheduler().events_dispatched();
         let mut sim = engine.into_model();
         sim.build_report(events)
+    }
+
+    /// Runs `flows` under `cfg` with the runtime sanitizer armed,
+    /// returning the report and the audit summary.
+    ///
+    /// The auditor only observes — it never schedules events or mutates
+    /// sim state — so the report digest matches an unaudited run
+    /// bit-for-bit. A violated invariant panics with the failing values.
+    #[cfg(feature = "audit")]
+    pub fn run_audited(
+        cfg: SystemConfig,
+        flows: Vec<FlowSpec>,
+    ) -> (SystemReport, crate::audit::AuditSummary) {
+        let mut sim = SystemSim::new(cfg, flows);
+        sim.audit = Auditor::armed(sim.flows.len());
+        let end = sim.end;
+        let mut engine = Engine::new(sim);
+        SystemSim::seed(&mut engine);
+        engine.run_until(end);
+        let events = engine.scheduler().events_dispatched();
+        let time_checks = engine.scheduler().audit_time_checks();
+        let mut sim = engine.into_model();
+        let report = sim.build_report(events);
+        let in_flight: u64 = sim.flows.iter().map(|f| u64::from(f.in_flight)).sum();
+        let summary = sim.audit.finish(time_checks, in_flight);
+        (report, summary)
     }
 
     /// Runs `flows` under `cfg` while recording a structured trace into a
@@ -662,6 +693,7 @@ impl SystemSim {
                 f.records[k as usize].dropped_at_source = true;
             }
             self.tracer.frames_dropped(flow_idx, now, dropped);
+            self.audit.frames_dropped(flow_idx, dropped as u64);
             return;
         }
         f.in_flight += to_dispatch.len() as u32;
@@ -671,6 +703,11 @@ impl SystemSim {
         if self.tracer.is_on() {
             let in_flight = self.flows[flow_idx].in_flight as usize;
             self.tracer.dispatched(flow_idx, now, in_flight);
+        }
+        if self.audit.is_on() {
+            let in_flight = self.flows[flow_idx].in_flight;
+            self.audit
+                .frames_dispatched(flow_idx, to_dispatch.len() as u64, in_flight);
         }
 
         let dispatch = self.dispatches.len();
@@ -1241,6 +1278,25 @@ impl SystemSim {
                     .expect("nonempty")
             }
         };
+        if self.audit.is_on()
+            && eligible.len() > 1
+            && matches!(self.cfg.sched_policy, SchedPolicy::Edf)
+        {
+            // Re-derive the earliest eligible deadline independently of the
+            // pick above and check the chosen lane matches it.
+            let deadline_of = |l: usize| {
+                let item = self.ips[ip].lanes[l].active.as_ref().expect("eligible");
+                let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
+                self.flows[item.flow].records[frame as usize].deadline
+            };
+            let chosen = deadline_of(lane);
+            let best = eligible
+                .iter()
+                .map(|&l| deadline_of(l))
+                .min()
+                .expect("nonempty");
+            self.audit.edf_pick(ip, chosen, best);
+        }
         self.scratch_eligible = eligible;
 
         // Consume the round's input.
@@ -1362,6 +1418,10 @@ impl SystemSim {
                 let late = now > self.flows[flow].records[frame as usize].deadline;
                 self.tracer.frame_done(flow, now, late);
             }
+            if self.audit.is_on() {
+                let in_flight = self.flows[flow].in_flight;
+                self.audit.frame_completed(flow, in_flight);
+            }
         }
 
         if item_done {
@@ -1442,6 +1502,11 @@ impl SystemSim {
         if self.tracer.is_on() {
             let used = self.ips[ip].lanes[lane].buffer.used();
             self.tracer.buffer_level(ip, lane, sched.now(), used);
+        }
+        if self.audit.is_on() {
+            let b = &self.ips[ip].lanes[lane].buffer;
+            let (occupancy, capacity) = (b.used() + b.reserved(), b.capacity());
+            self.audit.buffer_occupancy(ip, lane, occupancy, capacity);
         }
         self.kick(ip);
         self.drain_kicks(sched);
@@ -1666,6 +1731,39 @@ mod tests {
         assert!(summary.spans > 0, "no compute/transfer spans");
         assert!(summary.counters > 0, "no counter samples");
         assert!(summary.instants > 0, "no instants (irq/frame marks)");
+    }
+
+    /// The auditor observes; it must never perturb the simulation.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_run_is_bit_identical_and_every_invariant_is_checked() {
+        let flows = || vec![small_video("a"), small_video("b")];
+        let plain = SystemSim::run(quick_cfg(Scheme::Vip), flows());
+        let (audited, summary) = SystemSim::run_audited(quick_cfg(Scheme::Vip), flows());
+        assert_eq!(
+            plain.digest(),
+            audited.digest(),
+            "auditing perturbed the run"
+        );
+
+        assert_eq!(
+            summary.time_checks, audited.events,
+            "every dispatched event must pass the monotonicity check"
+        );
+        assert!(summary.buffer_checks > 0, "buffer hook never fired");
+        assert!(summary.conservation_checks > 0, "ledger hook never fired");
+        // The ledger counts every completion; the report additionally
+        // excludes frames speculated beyond the run horizon, so it can
+        // only be smaller.
+        assert!(summary.frames_completed >= audited.frames_completed);
+        assert_eq!(
+            summary.frames_dispatched,
+            summary.frames_completed + summary.frames_in_flight,
+            "conservation must balance at end of run"
+        );
+        // Two flows share Vd/Dc under VIP's hardware EDF: contended picks
+        // must have exercised the deadline-order check.
+        assert!(summary.edf_checks > 0, "EDF hook never fired");
     }
 
     /// p50 ≤ p95 ≤ p99, and the new percentiles do not feed the digest.

@@ -78,6 +78,9 @@ pub struct Scheduler<E> {
     /// cancelled entry surfaces.
     cancelled: FxHashSet<u64>,
     dispatched: u64,
+    /// Dispatches that passed the audited monotonicity check.
+    #[cfg(feature = "audit")]
+    audit_pops: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -96,6 +99,8 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             cancelled: FxHashSet::default(),
             dispatched: 0,
+            #[cfg(feature = "audit")]
+            audit_pops: 0,
         }
     }
 
@@ -107,6 +112,13 @@ impl<E> Scheduler<E> {
     /// Number of events dispatched so far.
     pub fn events_dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Number of dispatches that passed the audited event-time
+    /// monotonicity check (equals `events_dispatched` on a healthy run).
+    #[cfg(feature = "audit")]
+    pub fn audit_time_checks(&self) -> u64 {
+        self.audit_pops
     }
 
     /// Number of events still pending (cancelled events may be counted until
@@ -189,6 +201,17 @@ impl<E> Scheduler<E> {
                 continue;
             }
             debug_assert!(entry.at >= self.now, "calendar went backwards");
+            #[cfg(feature = "audit")]
+            {
+                assert!(
+                    entry.at >= self.now,
+                    "audit: event time went backwards: {} < {} (seq {})",
+                    entry.at,
+                    self.now,
+                    entry.seq
+                );
+                self.audit_pops += 1;
+            }
             self.now = entry.at;
             self.dispatched += 1;
             return Some((entry.at, entry.ev));
@@ -565,5 +588,22 @@ mod tests {
         assert_eq!(eng.scheduler().pending(), 2);
         eng.scheduler().cancel(t);
         assert_eq!(eng.scheduler().pending(), 1);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audit_counts_every_dispatch() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(20), 2);
+        eng.scheduler().at(SimTime::from_ns(10), 1);
+        let t = eng.scheduler().at(SimTime::from_ns(15), 9);
+        eng.scheduler().cancel(t);
+        eng.run();
+        // Cancelled events are discarded without an audit check.
+        assert_eq!(eng.scheduler().audit_time_checks(), 2);
+        assert_eq!(
+            eng.scheduler().audit_time_checks(),
+            eng.scheduler().events_dispatched()
+        );
     }
 }

@@ -44,6 +44,8 @@
 //! assert_eq!(engine.now(), SimTime::from_us(9));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod calendar;
 pub mod check;
 pub mod engine;

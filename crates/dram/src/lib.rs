@@ -40,6 +40,8 @@
 //! assert_eq!(done[0].tag, 7);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod channel;
 pub mod config;
 pub mod mapping;

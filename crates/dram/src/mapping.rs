@@ -149,9 +149,8 @@ mod tests {
 
     #[test]
     fn mapping_is_injective_over_a_region() {
-        use std::collections::HashSet;
         let m = mapper();
-        let mut seen = HashSet::new();
+        let mut seen = desim::FxHashSet::default();
         for line in 0..4096u64 {
             let p = m.place(line * 64);
             // (channel, bank, row, column-within-row) must be unique; we

@@ -1,0 +1,312 @@
+//! A minimal Rust tokenizer for lint passes.
+//!
+//! Produces a flat token stream — identifiers, string literals, and
+//! single-character punctuation — with comments stripped and line numbers
+//! attached. This is deliberately *not* a full Rust lexer: the rules only
+//! need to recognize paths (`std::collections::HashMap`), macro
+//! invocations (`format!`), attribute gates (`cfg(feature = "trace")`),
+//! and function boundaries, none of which require type-level parsing. The
+//! raw line text is kept alongside the tokens for the comment-driven rules
+//! (`// SAFETY:`, `// digest:`, `// lint:allow`).
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier, keyword, or number literal.
+    Ident(String),
+    /// A string literal's unescaped-ish contents (escapes left verbatim).
+    Str(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(t) if t == s)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(t) if *t == c)
+    }
+
+    /// Whether this token is a string literal equal to `s`.
+    pub fn is_str(&self, s: &str) -> bool {
+        matches!(self, Tok::Str(t) if t == s)
+    }
+}
+
+/// A tokenized source file plus its raw lines.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (`/`-separated).
+    pub path: String,
+    /// Raw lines, for comment-driven rules.
+    pub lines: Vec<String>,
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<(Tok, usize)>,
+}
+
+impl SourceFile {
+    /// Tokenizes `text` as the file at `path`.
+    pub fn parse(path: &str, text: &str) -> Self {
+        SourceFile {
+            path: path.to_string(),
+            lines: text.lines().map(str::to_string).collect(),
+            tokens: tokenize(text),
+        }
+    }
+
+    /// The raw text of 1-based line `n`, or `""` past the end.
+    pub fn line(&self, n: usize) -> &str {
+        self.lines
+            .get(n.wrapping_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// Tokenizes Rust source, stripping comments, resolving string/char
+/// literals, and tagging every token with its 1-based line.
+pub fn tokenize(text: &str) -> Vec<(Tok, usize)> {
+    let b: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                // Line comment: skip to end of line.
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting like Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (s, consumed, newlines) = scan_string(&b[i..]);
+                out.push((Tok::Str(s), line));
+                line += newlines;
+                i += consumed;
+            }
+            'r' if matches!(b.get(i + 1), Some(&'"') | Some(&'#')) && is_raw_string(&b[i..]) => {
+                let (s, consumed, newlines) = scan_raw_string(&b[i..]);
+                out.push((Tok::Str(s), line));
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                let next = b.get(i + 1).copied().unwrap_or(' ');
+                if next == '\\' {
+                    // Escaped char literal: skip to the closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&'\'') {
+                    i += 3; // plain char literal
+                } else {
+                    // Lifetime: consume the identifier, emit nothing (no
+                    // rule cares about lifetimes).
+                    i += 1;
+                    while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(b[start..i].iter().collect()), line));
+            }
+            c => {
+                out.push((Tok::Punct(c), line));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether the slice starting at `r` opens a raw string (`r"` or `r#...#"`).
+fn is_raw_string(b: &[char]) -> bool {
+    let mut j = 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+/// Scans a normal string literal starting at `"`. Returns (contents,
+/// chars consumed, newlines inside).
+fn scan_string(b: &[char]) -> (String, usize, usize) {
+    let mut s = String::new();
+    let mut i = 1;
+    let mut newlines = 0;
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                if let Some(&e) = b.get(i + 1) {
+                    s.push(e);
+                    if e == '\n' {
+                        newlines += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (s, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, newlines)
+}
+
+/// Scans a raw string literal starting at `r`. Returns (contents, chars
+/// consumed, newlines inside).
+fn scan_raw_string(b: &[char]) -> (String, usize, usize) {
+    let mut hashes = 0;
+    let mut i = 1;
+    while b.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let mut s = String::new();
+    let mut newlines = 0;
+    while i < b.len() {
+        if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return (s, i + 1 + hashes, newlines);
+        }
+        if b[i] == '\n' {
+            newlines += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, i, newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|(t, _)| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_identifiers() {
+        let src = r##"
+// HashMap in a comment
+/* HashMap in /* a nested */ block */
+let s = "HashMap in a string";
+let r = r#"HashMap raw"#;
+let x = real_ident;
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn string_contents_survive_as_str_tokens() {
+        let toks = tokenize(r#"cfg(feature = "trace")"#);
+        assert!(toks.iter().any(|(t, _)| t.is_str("trace")));
+        assert!(toks.iter().any(|(t, _)| t.is_ident("feature")));
+    }
+
+    #[test]
+    fn line_numbers_are_attached() {
+        let toks = tokenize("a\nb\n  c d\n");
+        let lines: Vec<(String, usize)> = toks
+            .into_iter()
+            .filter_map(|(t, l)| t.ident().map(|s| (s.to_string(), l)))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 3),
+                ("d".into(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; let q = '\\''; c }";
+        let ids = idents(src);
+        assert!(ids.contains(&"f".to_string()));
+        assert!(ids.contains(&"char".to_string()));
+        // The lifetime name is dropped, not mis-lexed into an ident.
+        let count_a = ids.iter().filter(|s| s.as_str() == "a").count();
+        assert_eq!(count_a, 0, "{ids:?}");
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = tokenize("let s = \"two\nlines\";\nafter");
+        let after = toks.iter().find(|(t, _)| t.is_ident("after")).unwrap();
+        assert_eq!(after.1, 3);
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let ids = idents("let x = 0xDEAD_BEEFu64 + 100_000;");
+        assert!(ids.contains(&"0xDEAD_BEEFu64".to_string()));
+        assert!(ids.contains(&"100_000".to_string()));
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: inline allow escapes suppress, both trailing and preceding.
+use std::collections::HashMap; // lint:allow(D001)
+
+// lint:allow(D002)
+use std::time::Instant;

@@ -1,0 +1,10 @@
+// Fixture: clean file — near-miss patterns that must NOT be flagged.
+use desim::{FxHashMap, FxHashSet};
+
+/// HashMap in a doc comment is fine; so is SystemTime here.
+pub fn build() -> FxHashMap<u64, u64> {
+    /* Instant::now() in a block comment */
+    let s = "std::collections::HashSet in a string literal";
+    let _ = (s, FxHashSet::<u64>::default());
+    FxHashMap::default()
+}

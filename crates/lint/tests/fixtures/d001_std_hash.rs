@@ -1,0 +1,6 @@
+// Fixture: D001 — std hash collections in a sim crate.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+// Fixture: D002 — wall-clock reads in a sim crate.
+use std::time::Instant;
+
+pub fn now_ms() -> u128 {
+    Instant::now().elapsed().as_millis()
+}

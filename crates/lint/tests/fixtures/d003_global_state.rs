@@ -1,0 +1,6 @@
+// Fixture: D003 — mutable global state in a sim crate.
+static mut COUNTER: u64 = 0;
+
+thread_local! {
+    static SCRATCH: std::cell::Cell<u64> = std::cell::Cell::new(0);
+}

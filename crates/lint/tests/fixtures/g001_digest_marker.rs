@@ -1,0 +1,11 @@
+// Fixture: G001 — a SystemReport field without a digest marker.
+pub struct SystemReport {
+    pub events: u64, // digest: included
+    pub p50: f64,
+}
+
+impl SystemReport {
+    pub fn digest(&self) -> u64 {
+        hash(self.events)
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: G002 — digest markers that disagree with the digest() body.
+pub struct SystemReport {
+    pub events: u64, // digest: included
+    pub p50: f64,    // digest: included
+    pub seed: u64,   // digest: excluded
+}
+
+impl SystemReport {
+    pub fn digest(&self) -> u64 {
+        hash(self.events) ^ hash(self.seed)
+    }
+}

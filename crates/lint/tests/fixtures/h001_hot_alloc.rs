@@ -1,0 +1,13 @@
+// Fixture: H001 — allocation inside a hot-path function. Linted under the
+// synthetic path crates/desim/src/engine.rs so `pop` is in the hot set.
+impl Scheduler {
+    fn pop(&mut self) -> Option<Event> {
+        let scratch = Vec::new();
+        let msg = format!("no event for {scratch:?}");
+        None
+    }
+
+    fn build_report(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}

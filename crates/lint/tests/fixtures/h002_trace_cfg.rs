@@ -1,0 +1,9 @@
+// Fixture: H002 — trace/audit feature gates outside the allowlisted sites.
+#[cfg(feature = "trace")]
+pub fn hook() {}
+
+#[cfg(feature = "audit")]
+pub fn check() {}
+
+#[cfg(feature = "metrics")]
+pub fn unrelated_feature_is_fine() {}

@@ -1,0 +1,9 @@
+// Fixture: U001 — unsafe without a SAFETY comment.
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn read_ok(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}

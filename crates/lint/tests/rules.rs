@@ -1,0 +1,112 @@
+//! Fixture corpus: every rule is exercised by one known-violation file,
+//! asserted down to exact rule IDs and file:line spans, plus a clean file
+//! full of near-misses and an escape-hatch file.
+
+use vip_lint::lint_source;
+
+/// Lints a fixture as if it lived at `path`, returning `(rule, line)`
+/// pairs in file order.
+fn spans(path: &str, text: &str) -> Vec<(&'static str, usize)> {
+    let (findings, _) = lint_source(path, text);
+    for f in &findings {
+        assert_eq!(f.file, path);
+        assert!(
+            f.to_string()
+                .starts_with(&format!("{path}:{}: {}", f.line, f.rule)),
+            "diagnostic format drifted: {f}"
+        );
+    }
+    findings.into_iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d001_std_hash_fixture() {
+    let text = include_str!("fixtures/d001_std_hash.rs");
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", text),
+        vec![("D001", 2), ("D001", 4), ("D001", 5)]
+    );
+}
+
+#[test]
+fn d002_wall_clock_fixture() {
+    let text = include_str!("fixtures/d002_wall_clock.rs");
+    assert_eq!(
+        spans("crates/soc/src/fixture.rs", text),
+        vec![("D002", 2), ("D002", 5)]
+    );
+}
+
+#[test]
+fn d003_global_state_fixture() {
+    let text = include_str!("fixtures/d003_global_state.rs");
+    assert_eq!(
+        spans("crates/dram/src/fixture.rs", text),
+        vec![("D003", 2), ("D003", 4)]
+    );
+}
+
+#[test]
+fn h001_hot_alloc_fixture() {
+    // The synthetic path puts `pop` in the hot set; `build_report` is not,
+    // so its Vec::new survives unflagged.
+    let text = include_str!("fixtures/h001_hot_alloc.rs");
+    assert_eq!(
+        spans("crates/desim/src/engine.rs", text),
+        vec![("H001", 5), ("H001", 6)]
+    );
+}
+
+#[test]
+fn h002_trace_cfg_fixture() {
+    let text = include_str!("fixtures/h002_trace_cfg.rs");
+    assert_eq!(
+        spans("crates/workloads/src/fixture.rs", text),
+        vec![("H002", 2), ("H002", 5)]
+    );
+}
+
+#[test]
+fn g001_digest_marker_fixture() {
+    let text = include_str!("fixtures/g001_digest_marker.rs");
+    assert_eq!(spans("crates/core/src/metrics.rs", text), vec![("G001", 4)]);
+}
+
+#[test]
+fn g002_digest_mismatch_fixture() {
+    let text = include_str!("fixtures/g002_digest_mismatch.rs");
+    assert_eq!(
+        spans("crates/core/src/metrics.rs", text),
+        vec![("G002", 4), ("G002", 5)]
+    );
+}
+
+#[test]
+fn u001_unsafe_fixture() {
+    // U001 applies outside the sim crates too (telemetry holds the one
+    // sanctioned unsafe block).
+    let text = include_str!("fixtures/u001_unsafe.rs");
+    assert_eq!(
+        spans("crates/telemetry/src/fixture.rs", text),
+        vec![("U001", 3)]
+    );
+}
+
+#[test]
+fn allow_escape_fixture_suppresses_everything() {
+    let text = include_str!("fixtures/allow_escape.rs");
+    let (findings, allows) = lint_source("crates/core/src/fixture.rs", text);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(allows.len(), 2);
+    assert!(allows.iter().all(|a| a.used), "{allows:?}");
+    assert_eq!(allows[0].rule, "D001");
+    assert_eq!(allows[1].rule, "D002");
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let text = include_str!("fixtures/clean.rs");
+    let (findings, allows) = lint_source("crates/core/src/fixture.rs", text);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert!(allows.is_empty());
+}

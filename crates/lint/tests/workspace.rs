@@ -1,0 +1,21 @@
+//! Workspace smoke test: the real tree must lint clean in strict mode.
+//! This is the same pass CI runs via `cargo run -p vip-lint -- --strict`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_in_strict_mode() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = vip_lint::find_workspace_root(here).expect("workspace root above crates/lint");
+    let report = vip_lint::lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.files_scanned > 30,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(true),
+        "workspace must lint clean (strict):\n{}",
+        report.render(true)
+    );
+}

@@ -144,8 +144,7 @@ mod tests {
 
     #[test]
     fn abbreviations_are_unique() {
-        use std::collections::HashSet;
-        let set: HashSet<&str> = IpKind::ALL.iter().map(|k| k.abbrev()).collect();
+        let set: desim::FxHashSet<&str> = IpKind::ALL.iter().map(|k| k.abbrev()).collect();
         assert_eq!(set.len(), 12);
     }
 

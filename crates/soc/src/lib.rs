@@ -20,6 +20,8 @@
 //!   flow control ("stall the sender", paper §5.5),
 //! * [`power`] — the energy breakdown rolled up by every experiment.
 
+#![deny(unsafe_code)]
+
 pub mod agent;
 pub mod buffer;
 pub mod cpu;

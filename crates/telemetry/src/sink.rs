@@ -158,7 +158,15 @@ impl TraceSink for RingRecorder {
             self.buf.push(ev);
         } else {
             let at = (self.written as usize) % self.cap;
-            self.buf[at] = ev;
+            // SAFETY: this branch requires `buf.len() == cap` (push keeps
+            // `len <= cap`, and `len < cap` took the branch above), and
+            // `at = written % cap < cap == buf.len()`, so `at` is in
+            // bounds. Skipping the bounds check keeps the wrap-around
+            // store on the same straight-line path as the pre-wrap push
+            // in the per-event recording hot loop.
+            unsafe {
+                *self.buf.get_unchecked_mut(at) = ev;
+            }
         }
         self.written += 1;
     }

@@ -29,6 +29,8 @@
 //! let _ = App::A5.spec(0, 1); // a single app is available too
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod apps;
 pub mod geometry;
 pub mod gop;

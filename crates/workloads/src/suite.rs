@@ -177,13 +177,12 @@ mod tests {
         // IPs (at minimum the display or a codec).
         for &w in &Workload::ALL {
             let spec = w.spec(5);
-            let mut seen = std::collections::HashMap::new();
+            let mut seen: desim::FxHashMap<_, desim::FxHashSet<usize>> =
+                desim::FxHashMap::default();
             for (ai, app) in spec.apps.iter().enumerate() {
                 for f in &app.flows {
                     for s in &f.stages {
-                        seen.entry(s.ip)
-                            .or_insert_with(std::collections::HashSet::new)
-                            .insert(ai);
+                        seen.entry(s.ip).or_default().insert(ai);
                     }
                 }
             }

@@ -33,6 +33,8 @@
 //! assert!(vip.energy.total_j() < baseline.energy.total_j());
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use cacti_lite;
 pub use desim;
 pub use dram;
