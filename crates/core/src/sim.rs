@@ -202,6 +202,13 @@ pub struct SystemSim {
     fetch_tags: FxHashMap<u64, FetchTag>,
     next_tag: u64,
     mem_tick_at: Option<SimTime>,
+    /// MemTick events fired, and how many of those were stale (superseded
+    /// by an earlier re-arm). Diagnostics only — never reported.
+    mem_ticks_fired: u64,
+    mem_ticks_stale: u64,
+    /// Compatibility switch for tests: re-poll the memory system on stale
+    /// MemTicks (the pre-optimization schedule) instead of skipping them.
+    eager_mem_poll: bool,
     kick_queue: Vec<usize>,
     /// Per-IP "already in `kick_queue`" flag — O(1) dedup instead of a
     /// linear scan on every kick.
@@ -309,6 +316,9 @@ impl SystemSim {
             fetch_tags: FxHashMap::default(),
             next_tag: 0,
             mem_tick_at: None,
+            mem_ticks_fired: 0,
+            mem_ticks_stale: 0,
+            eager_mem_poll: false,
             kick_queue: Vec::new(),
             kick_queued: vec![false; IpKind::ALL.len()],
             scratch_eligible: Vec::new(),
@@ -377,6 +387,24 @@ impl SystemSim {
     /// Runs `flows` under `cfg` and returns the report.
     pub fn run(cfg: SystemConfig, flows: Vec<FlowSpec>) -> SystemReport {
         let sim = SystemSim::new(cfg, flows);
+        let end = sim.end;
+        let mut engine = Engine::new(sim);
+        SystemSim::seed(&mut engine);
+        engine.run_until(end);
+        let events = engine.scheduler().events_dispatched();
+        let mut sim = engine.into_model();
+        sim.build_report(events)
+    }
+
+    /// Runs `flows` under `cfg` with stale (superseded) MemTicks re-polling
+    /// the memory system — the per-event schedule that coalescing
+    /// optimizes away. The event calendar is identical to [`SystemSim::run`],
+    /// so the reports must match bit-for-bit; tests use this to prove the
+    /// skip is behavior-preserving.
+    #[doc(hidden)]
+    pub fn run_eager_mem_poll(cfg: SystemConfig, flows: Vec<FlowSpec>) -> SystemReport {
+        let mut sim = SystemSim::new(cfg, flows);
+        sim.eager_mem_poll = true;
         let end = sim.end;
         let mut engine = Engine::new(sim);
         SystemSim::seed(&mut engine);
@@ -1469,8 +1497,21 @@ impl SystemSim {
 
     fn on_mem_tick(&mut self, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        self.mem_ticks_fired += 1;
         if self.mem_tick_at == Some(now) {
             self.mem_tick_at = None;
+        } else {
+            // Stale tick: `ensure_mem_tick` re-armed to an earlier instant
+            // after this one was placed. Every site that can lower the next
+            // completion time re-arms the tracker, so `mem_tick_at` never
+            // trails the earliest pending completion — a mismatched tick
+            // therefore has nothing due and the poll can be skipped. The
+            // event still dispatched (and was counted), so the schedule and
+            // the report digest are untouched.
+            self.mem_ticks_stale += 1;
+            if !self.eager_mem_poll {
+                return;
+            }
         }
         let mut completions = std::mem::take(&mut self.scratch_completions);
         completions.clear();
@@ -2007,6 +2048,52 @@ mod tests {
         }
         // p95 is at least the mean-ish for a spread distribution.
         assert!(rep.p95_flow_time >= rep.avg_flow_time / 2);
+    }
+
+    /// A superseded MemTick (re-armed to an earlier instant) must skip the
+    /// completion poll without changing the event calendar: same number of
+    /// MemTick dispatches, same report digest as the eager re-poll.
+    #[test]
+    fn stale_mem_ticks_skip_the_poll_without_changing_the_run() {
+        // FrameBurst on two channels: doorbell-driven fetches land while
+        // refresh/power-down skew the channels, so some re-arms supersede a
+        // pending tick. (Line interleaving keeps channels symmetric, which
+        // makes stale ticks rare — this geometry reliably produces them.)
+        let flows = || (0..4).map(|i| small_video(&format!("v{i}"))).collect();
+        let cfg = || {
+            let mut c = quick_cfg(Scheme::FrameBurst);
+            c.dram.channels = 2;
+            c
+        };
+        let run_mode = |eager: bool| {
+            let mut sim = SystemSim::new(cfg(), flows());
+            sim.eager_mem_poll = eager;
+            let end = sim.end;
+            let mut engine = Engine::new(sim);
+            SystemSim::seed(&mut engine);
+            engine.run_until(end);
+            let events = engine.scheduler().events_dispatched();
+            let mut sim = engine.into_model();
+            let report = sim.build_report(events);
+            (report, sim.mem_ticks_fired, sim.mem_ticks_stale)
+        };
+        let (lazy_rep, lazy_fired, lazy_stale) = run_mode(false);
+        let (eager_rep, eager_fired, eager_stale) = run_mode(true);
+        assert!(
+            lazy_stale > 0,
+            "two-channel contention must supersede some ticks"
+        );
+        assert_eq!(
+            lazy_fired, eager_fired,
+            "skipping the poll must not change MemTick dispatches"
+        );
+        assert_eq!(lazy_stale, eager_stale);
+        assert_eq!(lazy_rep.events, eager_rep.events);
+        assert_eq!(
+            lazy_rep.digest(),
+            eager_rep.digest(),
+            "stale-tick skip perturbed the simulation"
+        );
     }
 
     #[test]
