@@ -165,6 +165,15 @@ impl FlowSpec {
         self.stages.len()
     }
 
+    /// How many frame records a run of `duration` is expected to create:
+    /// one per period, plus `lookahead` for frames sourced ahead of the
+    /// presentation schedule (speculation is bounded by the source-queue
+    /// depth). A sizing hint — the record table still grows if exceeded.
+    pub fn frames_hint(&self, duration: SimDelta, lookahead: u32) -> usize {
+        let period_ns = self.period().as_ns().max(1);
+        (duration.as_ns() / period_ns) as usize + lookahead as usize + 2
+    }
+
     /// Validates the flow.
     ///
     /// # Errors

@@ -70,6 +70,8 @@ pub use devices::Device;
 pub use flow::{BurstGate, FlowSpec, FlowSpecBuilder, SourceKind, StageSpec};
 pub use header::HeaderPacket;
 pub use metrics::{FlowReport, FrameRecord, SystemReport};
+#[cfg(feature = "trace")]
+pub use sim::EventCounts;
 pub use sim::SystemSim;
 #[cfg(feature = "trace")]
 pub use telem::TraceSession;

@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 #[cfg(feature = "trace")]
 use std::rc::Rc;
 
-use desim::{Engine, FxHashMap, Model, Scheduler, SimDelta, SimTime};
+use desim::{Engine, Model, Scheduler, SimDelta, SimTime};
 use dram::{Completion, MemOp, MemRequest, MemorySystem};
 use soc::{CpuCore, IpConfig, IpKind, IpStats, LaneBuffer, SystemAgent, Task};
 
@@ -86,6 +86,78 @@ enum CpuPayload {
     Rollback,
 }
 
+/// Dispatch counts per event kind, from a counted run
+/// ([`SystemSim::run_with_event_counts`]). Shows where the event budget of
+/// a simulation goes; the sum equals the engine's dispatch counter.
+#[cfg(feature = "trace")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EventCounts {
+    /// `Ev::Source` dispatches.
+    pub source: u64,
+    /// `Ev::CpuDone` dispatches.
+    pub cpu_done: u64,
+    /// `Ev::MemTick` dispatches.
+    pub mem_tick: u64,
+    /// `Ev::ComputeDone` dispatches.
+    pub compute_done: u64,
+    /// `Ev::SaArrival` dispatches.
+    pub sa_arrival: u64,
+    /// `Ev::Background` dispatches.
+    pub background: u64,
+    /// `Ev::Rollback` dispatches.
+    pub rollback: u64,
+}
+
+#[cfg(feature = "trace")]
+impl EventCounts {
+    fn count(&mut self, ev: &Ev) {
+        match ev {
+            Ev::Source { .. } => self.source += 1,
+            Ev::CpuDone { .. } => self.cpu_done += 1,
+            Ev::MemTick => self.mem_tick += 1,
+            Ev::ComputeDone { .. } => self.compute_done += 1,
+            Ev::SaArrival { .. } => self.sa_arrival += 1,
+            Ev::Background { .. } => self.background += 1,
+            Ev::Rollback { .. } => self.rollback += 1,
+        }
+    }
+
+    /// Accumulates another run's counts into this one.
+    pub fn add(&mut self, other: &EventCounts) {
+        self.source += other.source;
+        self.cpu_done += other.cpu_done;
+        self.mem_tick += other.mem_tick;
+        self.compute_done += other.compute_done;
+        self.sa_arrival += other.sa_arrival;
+        self.background += other.background;
+        self.rollback += other.rollback;
+    }
+
+    /// Total dispatches across all kinds.
+    pub fn total(&self) -> u64 {
+        self.source
+            + self.cpu_done
+            + self.mem_tick
+            + self.compute_done
+            + self.sa_arrival
+            + self.background
+            + self.rollback
+    }
+
+    /// `(kind label, count)` rows in a fixed display order.
+    pub fn named(&self) -> [(&'static str, u64); 7] {
+        [
+            ("MemTick", self.mem_tick),
+            ("ComputeDone", self.compute_done),
+            ("SaArrival", self.sa_arrival),
+            ("CpuDone", self.cpu_done),
+            ("Source", self.source),
+            ("Background", self.background),
+            ("Rollback", self.rollback),
+        ]
+    }
+}
+
 /// What a tracked memory completion means.
 #[derive(Debug, Clone, Copy)]
 struct FetchTag {
@@ -95,7 +167,61 @@ struct FetchTag {
     side: bool,
 }
 
+/// Generational slab of in-flight fetch tags. The `u64` carried through
+/// the memory system encodes `generation << 32 | slot`, so resolving a
+/// completion is an array index plus a generation check instead of a hash
+/// lookup — this is the hottest edge of the simulation (one alloc/take
+/// pair per DRAM fetch). Freed slots bump their generation, so a stale
+/// key (slot since reused) misses instead of aliasing ([`FetchSlab::take`]
+/// returns `None`). [`WRITE_TAG`] (`u64::MAX`) is unreachable: it would
+/// need four billion live slots.
+#[derive(Debug, Default)]
+struct FetchSlab {
+    tags: Vec<FetchTag>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl FetchSlab {
+    /// Stores a tag, returning its `generation << 32 | slot` key.
+    fn alloc(&mut self, tag: FetchTag) -> u64 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.tags[slot as usize] = tag;
+                (u64::from(self.gens[slot as usize]) << 32) | u64::from(slot)
+            }
+            None => {
+                let slot = self.tags.len() as u32;
+                self.tags.push(tag);
+                self.gens.push(0);
+                u64::from(slot)
+            }
+        }
+    }
+
+    /// Removes and returns the tag under `key`; `None` if the key's
+    /// generation is stale (the slot was freed and reused) or out of range.
+    fn take(&mut self, key: u64) -> Option<FetchTag> {
+        let slot = key as u32 as usize;
+        let generation = (key >> 32) as u32;
+        if slot >= self.tags.len() || self.gens[slot] != generation {
+            return None;
+        }
+        self.gens[slot] = generation.wrapping_add(1);
+        self.free.push(slot as u32);
+        Some(self.tags[slot])
+    }
+}
+
 /// One super-request: a set of frames of one flow moving through its chain.
+///
+/// Slots are recycled through `SystemSim::free_dispatches` once every
+/// reference is gone, so `frames`/`stage_done` capacity is reused and the
+/// steady state allocates nothing. References are counted explicitly:
+/// one for the live CPU payload chain (Prep → Setup → Irq hand the same
+/// ref along), one per stage enqueued at an IP (released when the stage
+/// retires the item, or handed to the Irq payload it raises), and one per
+/// scheduled Rollback event.
 #[derive(Debug)]
 struct Dispatch {
     flow: usize,
@@ -104,6 +230,11 @@ struct Dispatch {
     /// later stage of a FrameBurst dispatch start a frame as soon as the
     /// earlier stage has written it to DRAM (no CPU involvement).
     stage_done: Vec<u32>,
+    /// Creation order, monotonic across slot reuse — the FIFO scheduling
+    /// key (slot indices stopped being creation-ordered with recycling).
+    seq: u64,
+    /// Outstanding references; the slot is freed when this reaches zero.
+    refs: u32,
 }
 
 /// A queued super-request at one stage.
@@ -125,48 +256,104 @@ enum InputMode {
     Upstream,
 }
 
-/// In-flight state of the item a lane is serving.
-#[derive(Debug)]
-struct ActiveItem {
+/// The scheduler-visible half of a lane's active item (SoA: one array per
+/// IP). The eligibility scan in [`SystemSim::try_start_compute`], the
+/// doorbell check, and the EDF/FIFO picks run on every pump of every IP
+/// and read *only* this struct — the deadline of the current frame and
+/// the dispatch's FIFO seq are cached here so the picks never chase
+/// `dispatches`/`records` pointers.
+#[derive(Debug, Clone, Copy)]
+struct LaneSched {
     dispatch: usize,
     stage: usize,
-    flow: usize,
     frame_pos: usize,
-    // Per-frame geometry (identical for all frames of the dispatch).
-    in_total: u64,
-    out_total: u64,
-    n_rounds: u64,
-    round_compute: SimDelta,
     input: InputMode,
-    // Per-frame progress.
+    /// Cached `dispatches[dispatch].seq` (FIFO pick key).
+    seq: u64,
+    /// Cached `records[frame].deadline` of the current frame (EDF pick
+    /// key); refreshed when the item activates and on frame advance.
+    deadline: SimTime,
+    // Per-frame geometry and progress the eligibility test needs.
+    in_total: u64,
     side_total: u64,
+    n_rounds: u64,
     rounds_computed: u64,
-    in_requested: u64,
     in_ready: u64,
+    side_ready: u64,
+    out_pending: u64,
+}
+
+impl LaneSched {
+    /// Placeholder for an inactive lane (never read while inactive).
+    fn idle() -> Self {
+        LaneSched {
+            dispatch: 0,
+            stage: 0,
+            frame_pos: 0,
+            input: InputMode::None,
+            seq: 0,
+            deadline: SimTime::ZERO,
+            in_total: 0,
+            side_total: 0,
+            n_rounds: 0,
+            rounds_computed: 0,
+            in_ready: 0,
+            side_ready: 0,
+            out_pending: 0,
+        }
+    }
+}
+
+/// The transfer-bookkeeping half of a lane's active item (SoA): fetch and
+/// flush progress, frame timing — fields the per-IP scheduler scan never
+/// reads, kept out of its cache lines.
+#[derive(Debug, Clone, Copy)]
+struct LaneXfer {
+    flow: usize,
+    out_total: u64,
+    round_compute: SimDelta,
+    in_requested: u64,
     in_consumed: u64,
     side_requested: u64,
-    side_ready: u64,
     side_consumed: u64,
     inflight_fetches: u32,
-    out_pending: u64,
     holds_active: bool,
     frame_begin: Option<SimTime>,
 }
 
-/// One buffer lane of an IP.
-#[derive(Debug)]
-struct LaneRt {
-    buffer: LaneBuffer,
-    queue: VecDeque<WorkItem>,
-    active: Option<ActiveItem>,
+impl LaneXfer {
+    /// Placeholder for an inactive lane (never read while inactive).
+    fn idle() -> Self {
+        LaneXfer {
+            flow: 0,
+            out_total: 0,
+            round_compute: SimDelta::ZERO,
+            in_requested: 0,
+            in_consumed: 0,
+            side_requested: 0,
+            side_consumed: 0,
+            inflight_fetches: 0,
+            holds_active: false,
+            frame_begin: None,
+        }
+    }
 }
 
-/// One IP core at run time.
+/// One IP core at run time. Lane state is struct-of-arrays: parallel
+/// vectors indexed by lane, so each walk touches only the array it needs
+/// (queue heads on activation, [`LaneSched`] in the scheduler scan,
+/// buffers on arrival) instead of dragging whole-lane structs through the
+/// cache.
 #[derive(Debug)]
 struct IpRt {
     cfg: IpConfig,
     stats: IpStats,
-    lanes: Vec<LaneRt>,
+    buffers: Vec<LaneBuffer>,
+    queues: Vec<VecDeque<WorkItem>>,
+    /// Whether `sched[lane]`/`xfer[lane]` hold a live item.
+    active: Vec<bool>,
+    sched: Vec<LaneSched>,
+    xfer: Vec<LaneXfer>,
     engine_busy: bool,
     engine_lane: Option<usize>,
     /// Producers (ip, lane) blocked emitting into this IP.
@@ -199,8 +386,11 @@ pub struct SystemSim {
     mem: MemorySystem,
     agent: SystemAgent,
     dispatches: Vec<Dispatch>,
-    fetch_tags: FxHashMap<u64, FetchTag>,
-    next_tag: u64,
+    /// Retired [`Dispatch`] slots awaiting reuse.
+    free_dispatches: Vec<usize>,
+    /// Next [`Dispatch::seq`] to assign.
+    dispatch_seq: u64,
+    fetch_tags: FetchSlab,
     mem_tick_at: Option<SimTime>,
     /// MemTick events fired, and how many of those were stale (superseded
     /// by an earlier re-arm). Diagnostics only — never reported.
@@ -218,6 +408,7 @@ pub struct SystemSim {
     scratch_eligible: Vec<usize>,
     scratch_chain: Vec<IpKind>,
     scratch_completions: Vec<Completion>,
+    scratch_frames: Vec<u64>,
     interrupts: u64,
     /// Burst rollbacks performed (paper Fig 11).
     pub rollbacks: u64,
@@ -253,13 +444,13 @@ impl SystemSim {
             .map(|&k| IpRt {
                 cfg: cfg.ip(k).clone(),
                 stats: IpStats::new(),
-                lanes: (0..lanes_per_ip)
-                    .map(|_| LaneRt {
-                        buffer: LaneBuffer::new(cfg.buffer_bytes_per_lane),
-                        queue: VecDeque::new(),
-                        active: None,
-                    })
+                buffers: (0..lanes_per_ip)
+                    .map(|_| LaneBuffer::new(cfg.buffer_bytes_per_lane))
                     .collect(),
+                queues: (0..lanes_per_ip).map(|_| VecDeque::new()).collect(),
+                active: vec![false; lanes_per_ip],
+                sched: vec![LaneSched::idle(); lanes_per_ip],
+                xfer: vec![LaneXfer::idle(); lanes_per_ip],
                 engine_busy: false,
                 engine_lane: None,
                 waiters: Vec::new(),
@@ -289,13 +480,14 @@ impl SystemSim {
                     })
                     .collect();
                 let period = spec.period();
+                let frames_hint = spec.frames_hint(cfg.duration, cfg.source_queue_limit);
                 FlowRt {
                     core: i % cfg.num_cpus,
                     phase: SimDelta::from_ns((i as u64 * 1_700_000) % period.as_ns().max(1)),
                     next_frame: 0,
                     in_flight: 0,
-                    backlog: Vec::new(),
-                    records: Vec::new(),
+                    backlog: Vec::with_capacity(cfg.source_queue_limit as usize + 1),
+                    records: Vec::with_capacity(frames_hint),
                     lane_at,
                     spec,
                 }
@@ -305,6 +497,11 @@ impl SystemSim {
         // in some toolchains; lanes were built above.
         ips.iter_mut().for_each(|_| {});
 
+        // One dispatch per frame is the worst case (burst size 1).
+        let dispatches_hint: usize = flows_rt
+            .iter()
+            .map(|f| f.spec.frames_hint(cfg.duration, cfg.source_queue_limit))
+            .sum();
         let end = SimTime::ZERO + cfg.duration;
         SystemSim {
             cpus: (0..cfg.num_cpus)
@@ -312,9 +509,10 @@ impl SystemSim {
                 .collect(),
             mem: MemorySystem::new(cfg.dram.clone()),
             agent: SystemAgent::new(cfg.agent.clone()),
-            dispatches: Vec::new(),
-            fetch_tags: FxHashMap::default(),
-            next_tag: 0,
+            dispatches: Vec::with_capacity(dispatches_hint),
+            free_dispatches: Vec::new(),
+            dispatch_seq: 0,
+            fetch_tags: FetchSlab::default(),
             mem_tick_at: None,
             mem_ticks_fired: 0,
             mem_ticks_stale: 0,
@@ -324,6 +522,7 @@ impl SystemSim {
             scratch_eligible: Vec::new(),
             scratch_chain: Vec::new(),
             scratch_completions: Vec::new(),
+            scratch_frames: Vec::new(),
             interrupts: 0,
             rollbacks: 0,
             buffer_bytes_streamed: 0,
@@ -340,6 +539,18 @@ impl SystemSim {
 
     /// Seeds the initial source and background events into a fresh engine.
     fn seed(engine: &mut Engine<SystemSim>) {
+        // Concurrent events scale with flows (source + rollback timers),
+        // lanes (compute/irq chains), and CPU cores (background load);
+        // one MemTick is pending at a time. A small per-entity bound
+        // pre-sizes the heap past its growth phase.
+        let pending_hint = {
+            let m = engine.model();
+            m.flows.len() * 4
+                + m.ips.iter().map(|ip| ip.active.len()).sum::<usize>()
+                + m.cpus.len() * 2
+                + 8
+        };
+        engine.scheduler().reserve(pending_hint);
         for i in 0..engine.model().flows.len() {
             let phase = engine.model().flows[i].phase;
             engine
@@ -394,6 +605,34 @@ impl SystemSim {
         let events = engine.scheduler().events_dispatched();
         let mut sim = engine.into_model();
         sim.build_report(events)
+    }
+
+    /// Runs `flows` under `cfg` counting dispatches per event kind via the
+    /// engine's trace-only dispatch hook. The schedule is identical to
+    /// [`SystemSim::run`]'s (the hook only observes), so the report digest
+    /// matches an uncounted run bit-for-bit.
+    #[cfg(feature = "trace")]
+    pub fn run_with_event_counts(
+        cfg: SystemConfig,
+        flows: Vec<FlowSpec>,
+    ) -> (SystemReport, EventCounts) {
+        use std::cell::RefCell;
+
+        let sim = SystemSim::new(cfg, flows);
+        let end = sim.end;
+        let mut engine = Engine::new(sim);
+        let counts = Rc::new(RefCell::new(EventCounts::default()));
+        let sink = Rc::clone(&counts);
+        engine.set_dispatch_hook(Box::new(move |_at, ev: &Ev| {
+            sink.borrow_mut().count(ev);
+        }));
+        SystemSim::seed(&mut engine);
+        engine.run_until(end);
+        let events = engine.scheduler().events_dispatched();
+        let mut sim = engine.into_model();
+        let report = sim.build_report(events);
+        let counts = *counts.borrow();
+        (report, counts)
     }
 
     /// Runs `flows` under `cfg` with stale (superseded) MemTicks re-polling
@@ -533,10 +772,23 @@ impl SystemSim {
     }
 
     fn alloc_tag(&mut self, tag: FetchTag) -> u64 {
-        let t = self.next_tag;
-        self.next_tag += 1;
-        self.fetch_tags.insert(t, tag);
-        t
+        self.fetch_tags.alloc(tag)
+    }
+
+    /// Adds `n` references to a dispatch slot (see [`Dispatch`]).
+    fn retain_dispatch(&mut self, dispatch: usize, n: u32) {
+        self.dispatches[dispatch].refs += n;
+    }
+
+    /// Drops one reference; a slot at zero is recycled through the free
+    /// list (its `frames`/`stage_done` capacity is reused on reallocation).
+    fn release_dispatch(&mut self, dispatch: usize) {
+        let d = &mut self.dispatches[dispatch];
+        debug_assert!(d.refs > 0, "dispatch over-released");
+        d.refs -= 1;
+        if d.refs == 0 {
+            self.free_dispatches.push(dispatch);
+        }
     }
 
     fn ensure_mem_tick(&mut self, sched: &mut Scheduler<Ev>) {
@@ -656,11 +908,13 @@ impl SystemSim {
         let phase = f.phase;
         let is_sensor = matches!(f.spec.source, SourceKind::Sensor);
 
-        let mut to_dispatch: Vec<u64> = Vec::new();
+        // Frames of the dispatch being formed, in a buffer reused across
+        // source events (this handler runs per frame or per burst window).
+        self.scratch_frames.clear();
         let next_source_frame;
 
         if burst_cap == 1 {
-            to_dispatch.push(f.next_frame);
+            self.scratch_frames.push(f.next_frame);
             next_source_frame = f.next_frame + 1;
         } else if is_sensor {
             // Live source: accumulate until a burst window is full.
@@ -668,14 +922,14 @@ impl SystemSim {
             f.backlog.push(f.next_frame);
             next_source_frame = f.next_frame + 1;
             if f.backlog.len() as u32 >= burst_cap {
-                to_dispatch = std::mem::take(&mut f.backlog);
+                self.scratch_frames.append(&mut f.backlog);
             }
         } else {
             // Software source: data already exists, burst ahead of the
             // presentation schedule (gated for interactive flows).
             let allowed = f.spec.gate.allowed(now, burst_cap).max(1);
             for k in 0..allowed as u64 {
-                to_dispatch.push(f.next_frame + k);
+                self.scratch_frames.push(f.next_frame + k);
             }
             next_source_frame = f.next_frame + allowed as u64;
         }
@@ -685,7 +939,8 @@ impl SystemSim {
         {
             let f = &mut self.flows[flow_idx];
             let deadline_delta = SimDelta::from_secs_f64(f.spec.deadline_periods / f.spec.fps);
-            let max_new = to_dispatch
+            let max_new = self
+                .scratch_frames
                 .iter()
                 .copied()
                 .max()
@@ -709,23 +964,23 @@ impl SystemSim {
             sched.at(next_at, Ev::Source { flow: flow_idx });
         }
 
-        if to_dispatch.is_empty() {
+        if self.scratch_frames.is_empty() {
             return;
         }
 
         // Source-queue limit (the Nexus 7 depth-7 observation, §2.2).
         let f = &mut self.flows[flow_idx];
-        if f.in_flight + to_dispatch.len() as u32 > self.cfg.source_queue_limit {
-            let dropped = to_dispatch.len();
-            for k in to_dispatch {
+        if f.in_flight + self.scratch_frames.len() as u32 > self.cfg.source_queue_limit {
+            let dropped = self.scratch_frames.len();
+            for &k in &self.scratch_frames {
                 f.records[k as usize].dropped_at_source = true;
             }
             self.tracer.frames_dropped(flow_idx, now, dropped);
             self.audit.frames_dropped(flow_idx, dropped as u64);
             return;
         }
-        f.in_flight += to_dispatch.len() as u32;
-        for &k in &to_dispatch {
+        f.in_flight += self.scratch_frames.len() as u32;
+        for &k in &self.scratch_frames {
             f.records[k as usize].dispatched = Some(now);
         }
         if self.tracer.is_on() {
@@ -735,17 +990,37 @@ impl SystemSim {
         if self.audit.is_on() {
             let in_flight = self.flows[flow_idx].in_flight;
             self.audit
-                .frames_dispatched(flow_idx, to_dispatch.len() as u64, in_flight);
+                .frames_dispatched(flow_idx, self.scratch_frames.len() as u64, in_flight);
         }
 
-        let dispatch = self.dispatches.len();
-        let nframes = to_dispatch.len() as u64;
+        let nframes = self.scratch_frames.len() as u64;
         let num_stages = self.flows[flow_idx].spec.num_stages();
-        self.dispatches.push(Dispatch {
-            flow: flow_idx,
-            frames: to_dispatch,
-            stage_done: vec![0; num_stages],
-        });
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        // The initial reference is the CPU payload chain (Prep below).
+        let dispatch = match self.free_dispatches.pop() {
+            Some(i) => {
+                let d = &mut self.dispatches[i];
+                d.flow = flow_idx;
+                d.frames.clear();
+                d.frames.extend_from_slice(&self.scratch_frames);
+                d.stage_done.clear();
+                d.stage_done.resize(num_stages, 0);
+                d.seq = seq;
+                d.refs = 1;
+                i
+            }
+            None => {
+                self.dispatches.push(Dispatch {
+                    flow: flow_idx,
+                    frames: self.scratch_frames.clone(),
+                    stage_done: vec![0; num_stages],
+                    seq,
+                    refs: 1,
+                });
+                self.dispatches.len() - 1
+            }
+        };
 
         // Speculated (ahead-of-schedule) bursts of interactive flows must
         // roll back if the user touches before the burst presents.
@@ -763,6 +1038,8 @@ impl SystemSim {
                         dispatch,
                     },
                 );
+                // The pending event keeps the slot alive until it fires.
+                self.retain_dispatch(dispatch, 1);
             }
         }
 
@@ -827,15 +1104,24 @@ impl SystemSim {
                 dispatch,
                 stage,
             } => {
+                // The payload-chain ref converts into one ref per stage
+                // enqueued (Baseline enqueues one stage and the Irq →
+                // Setup chain carries the rest, so it nets to a transfer).
                 if self.cfg.scheme.chained() {
+                    let stages = self.flows[flow].spec.num_stages() as u32;
+                    self.retain_dispatch(dispatch, stages);
                     self.enqueue_chained(flow, dispatch, sched);
                 } else if self.cfg.scheme == Scheme::FrameBurst {
-                    for s in 0..self.flows[flow].spec.num_stages() {
+                    let stages = self.flows[flow].spec.num_stages();
+                    self.retain_dispatch(dispatch, stages as u32);
+                    for s in 0..stages {
                         self.enqueue_stage(flow, dispatch, s);
                     }
                 } else {
+                    self.retain_dispatch(dispatch, 1);
                     self.enqueue_stage(flow, dispatch, stage);
                 }
+                self.release_dispatch(dispatch);
                 self.drain_kicks(sched);
             }
             CpuPayload::Irq {
@@ -848,6 +1134,7 @@ impl SystemSim {
                     if stage + 1 < stages {
                         let core = self.flows[flow].core;
                         let setup = self.cfg.driver_setup;
+                        // Hands the payload-chain ref to the next Setup.
                         self.submit_cpu_task(
                             sched,
                             core,
@@ -859,9 +1146,11 @@ impl SystemSim {
                                 stage: stage + 1,
                             },
                         );
+                        return;
                     }
                 }
                 // Chained: the dispatch-final interrupt needs no follow-up.
+                self.release_dispatch(dispatch);
             }
             CpuPayload::Background => {
                 // Book background residency at completion so partially-run
@@ -881,6 +1170,7 @@ impl SystemSim {
     /// CPU cost and its scheduling interference are modeled.
     fn on_rollback(&mut self, flow: usize, dispatch: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
+        // The pending-event ref is consumed on every path out of here.
         // Frames whose presentation instant is still ahead hold stale
         // speculated content and must be recomputed.
         let remaining = self.dispatches[dispatch]
@@ -888,6 +1178,7 @@ impl SystemSim {
             .iter()
             .filter(|&&k| self.flows[flow].records[k as usize].sourced > now)
             .count() as u64;
+        self.release_dispatch(dispatch);
         if remaining == 0 {
             return;
         }
@@ -934,9 +1225,7 @@ impl SystemSim {
         let spec = &self.flows[flow].spec;
         let ip = spec.stages[stage].ip.index();
         let lane = self.flows[flow].lane_at[stage];
-        self.ips[ip].lanes[lane]
-            .queue
-            .push_back(WorkItem { dispatch, stage });
+        self.ips[ip].queues[lane].push_back(WorkItem { dispatch, stage });
         self.kick(ip);
     }
 
@@ -962,9 +1251,7 @@ impl SystemSim {
         for (s, kind) in chain.iter().enumerate().take(stages) {
             let ip = kind.index();
             let lane = self.flows[flow].lane_at[s];
-            self.ips[ip].lanes[lane]
-                .queue
-                .push_back(WorkItem { dispatch, stage: s });
+            self.ips[ip].queues[lane].push_back(WorkItem { dispatch, stage: s });
             self.kick(ip);
         }
         self.scratch_chain = chain;
@@ -992,15 +1279,16 @@ impl SystemSim {
     /// and starts compute. The single re-evaluation point for an IP.
     fn pump_ip(&mut self, ip: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
-        let nlanes = self.ips[ip].lanes.len();
+        let nlanes = self.ips[ip].active.len();
 
         for lane in 0..nlanes {
             // Activate the head item if the lane is free.
-            if self.ips[ip].lanes[lane].active.is_none() {
-                if let Some(item) = self.ips[ip].lanes[lane].queue.pop_front() {
+            if !self.ips[ip].active[lane] {
+                if let Some(item) = self.ips[ip].queues[lane].pop_front() {
                     let flow = self.dispatches[item.dispatch].flow;
                     let stage = item.stage;
                     let frame0 = self.dispatches[item.dispatch].frames[0];
+                    let seq = self.dispatches[item.dispatch].seq;
                     let spec = &self.flows[flow].spec;
                     let in_total = if stage == 0 {
                         spec.src_bytes_for(frame0)
@@ -1008,36 +1296,44 @@ impl SystemSim {
                         spec.in_bytes(stage)
                     };
                     let out_total = spec.stages[stage].out_bytes;
+                    let side_total = spec.stages[stage].side_read_bytes;
                     let footprint = spec.footprint(stage);
                     let n_rounds = footprint.div_ceil(self.cfg.subframe_bytes).max(1);
                     let compute = self.ips[ip].cfg.frame_compute_time(footprint);
-                    self.ips[ip].lanes[lane].active = Some(ActiveItem {
+                    let input = self.input_mode(flow, stage);
+                    let deadline = self.flows[flow].records[frame0 as usize].deadline;
+                    self.ips[ip].active[lane] = true;
+                    self.ips[ip].sched[lane] = LaneSched {
                         dispatch: item.dispatch,
                         stage,
-                        flow,
                         frame_pos: 0,
+                        input,
+                        seq,
+                        deadline,
                         in_total,
-                        out_total,
+                        side_total,
                         n_rounds,
-                        round_compute: compute / n_rounds,
-                        input: self.input_mode(flow, stage),
-                        side_total: spec.stages[stage].side_read_bytes,
                         rounds_computed: 0,
-                        in_requested: 0,
                         in_ready: 0,
+                        side_ready: 0,
+                        out_pending: 0,
+                    };
+                    self.ips[ip].xfer[lane] = LaneXfer {
+                        flow,
+                        out_total,
+                        round_compute: compute / n_rounds,
+                        in_requested: 0,
                         in_consumed: 0,
                         side_requested: 0,
-                        side_ready: 0,
                         side_consumed: 0,
                         inflight_fetches: 0,
-                        out_pending: 0,
                         holds_active: false,
                         frame_begin: None,
-                    });
+                    };
                     // A new head: producers blocked on this lane may proceed.
                     self.wake_waiters(ip);
                     if self.tracer.is_on() {
-                        let depth = self.ips[ip].lanes[lane].queue.len();
+                        let depth = self.ips[ip].queues[lane].len();
                         self.tracer.queue_depth(ip, lane, now, depth);
                     }
                 }
@@ -1057,12 +1353,12 @@ impl SystemSim {
     /// FrameBurst (bursts without chaining) a later stage's frame waits
     /// for the earlier stage to have written it to DRAM — a hardware
     /// doorbell, not a CPU interrupt.
-    fn doorbell_open(&self, item: &ActiveItem) -> bool {
-        if item.stage == 0 || self.cfg.scheme != Scheme::FrameBurst {
+    fn doorbell_open(&self, s: &LaneSched) -> bool {
+        if s.stage == 0 || self.cfg.scheme != Scheme::FrameBurst {
             return true;
         }
-        let d = &self.dispatches[item.dispatch];
-        d.stage_done[item.stage - 1] as usize > item.frame_pos
+        let d = &self.dispatches[s.dispatch];
+        d.stage_done[s.stage - 1] as usize > s.frame_pos
     }
 
     /// Issues DRAM prefetches (chain input and side reads) for a lane's
@@ -1071,24 +1367,26 @@ impl SystemSim {
         let now = sched.now();
         let sub = self.cfg.subframe_bytes;
         loop {
-            let Some(item) = self.ips[ip].lanes[lane].active.as_ref() else {
+            if !self.ips[ip].active[lane] {
                 return;
-            };
-            if !self.doorbell_open(item) || item.inflight_fetches >= 2 {
+            }
+            let s = self.ips[ip].sched[lane];
+            let x = self.ips[ip].xfer[lane];
+            if !self.doorbell_open(&s) || x.inflight_fetches >= 2 {
                 return;
             }
             // Chain input first, then side reads; both double-buffered.
-            let want_input = item.input == InputMode::Dram
-                && item.in_requested < item.in_total
-                && item.in_requested - item.in_consumed < 2 * sub;
+            let want_input = s.input == InputMode::Dram
+                && x.in_requested < s.in_total
+                && x.in_requested - x.in_consumed < 2 * sub;
             // Side reads may need more than a sub-frame per round (e.g. a
             // reference frame larger than the output); the prefetch window
             // must always cover the next round's need or the round could
             // never become eligible.
-            let side_need = Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
+            let side_need = Self::round_part(s.side_total, s.n_rounds, s.rounds_computed);
             let side_window = (2 * sub).max(side_need + sub);
-            let want_side = item.side_requested < item.side_total
-                && item.side_requested - item.side_consumed < side_window;
+            let want_side =
+                x.side_requested < s.side_total && x.side_requested - x.side_consumed < side_window;
             let side = if want_input {
                 false
             } else if want_side {
@@ -1098,23 +1396,17 @@ impl SystemSim {
             };
             let (chunk, offset, kind) = if side {
                 (
-                    sub.min(item.side_total - item.side_requested),
-                    item.side_requested,
+                    sub.min(s.side_total - x.side_requested),
+                    x.side_requested,
                     2,
                 )
             } else {
-                (
-                    sub.min(item.in_total - item.in_requested),
-                    item.in_requested,
-                    0,
-                )
+                (sub.min(s.in_total - x.in_requested), x.in_requested, 0)
             };
-            let flow = item.flow;
-            let stage = item.stage;
-            let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
-            let first_activity = !item.holds_active;
+            let frame = self.dispatches[s.dispatch].frames[s.frame_pos];
+            let first_activity = !x.holds_active;
 
-            let addr = self.stream_addr(flow, stage, frame, offset, kind);
+            let addr = self.stream_addr(x.flow, s.stage, frame, offset, kind);
             let tag = self.alloc_tag(FetchTag {
                 ip,
                 lane,
@@ -1126,15 +1418,15 @@ impl SystemSim {
             self.agent.account_passthrough(chunk);
             self.ensure_mem_tick(sched);
 
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("item");
+            let x = &mut self.ips[ip].xfer[lane];
             if side {
-                item.side_requested += chunk;
+                x.side_requested += chunk;
             } else {
-                item.in_requested += chunk;
+                x.in_requested += chunk;
             }
-            item.inflight_fetches += 1;
+            x.inflight_fetches += 1;
             if first_activity {
-                item.holds_active = true;
+                self.ips[ip].xfer[lane].holds_active = true;
                 self.ips[ip].stats.set_active(now, true);
             }
         }
@@ -1149,14 +1441,15 @@ impl SystemSim {
     fn flush_output(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
         let sub = self.cfg.subframe_bytes;
         loop {
-            let Some(item) = self.ips[ip].lanes[lane].active.as_ref() else {
+            if !self.ips[ip].active[lane] {
                 return;
-            };
-            let frame_computed = item.rounds_computed == item.n_rounds;
-            let chunk = if item.out_pending >= sub {
+            }
+            let s = &self.ips[ip].sched[lane];
+            let frame_computed = s.rounds_computed == s.n_rounds;
+            let chunk = if s.out_pending >= sub {
                 sub
-            } else if frame_computed && item.out_pending > 0 {
-                item.out_pending
+            } else if frame_computed && s.out_pending > 0 {
+                s.out_pending
             } else {
                 if frame_computed {
                     self.complete_frame(ip, lane, sched);
@@ -1166,8 +1459,7 @@ impl SystemSim {
             if !self.emit(ip, lane, chunk, sched) {
                 return;
             }
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("item");
-            item.out_pending -= chunk;
+            self.ips[ip].sched[lane].out_pending -= chunk;
         }
     }
 
@@ -1176,12 +1468,12 @@ impl SystemSim {
     fn emit(&mut self, ip: usize, lane: usize, bytes: u64, sched: &mut Scheduler<Ev>) -> bool {
         let now = sched.now();
         let (flow, stage, dispatch, frame) = {
-            let item = self.ips[ip].lanes[lane].active.as_ref().expect("emit item");
+            let s = &self.ips[ip].sched[lane];
             (
-                item.flow,
-                item.stage,
-                item.dispatch,
-                self.dispatches[item.dispatch].frames[item.frame_pos],
+                self.ips[ip].xfer[lane].flow,
+                s.stage,
+                s.dispatch,
+                self.dispatches[s.dispatch].frames[s.frame_pos],
             )
         };
         let last_stage = stage + 1 == self.flows[flow].spec.num_stages();
@@ -1190,8 +1482,8 @@ impl SystemSim {
         }
         if !self.cfg.scheme.chained() {
             // Posted write to DRAM; no flow control.
-            let item = self.ips[ip].lanes[lane].active.as_ref().expect("item");
-            let offset = item.out_total.saturating_sub(item.out_pending);
+            let out_total = self.ips[ip].xfer[lane].out_total;
+            let offset = out_total.saturating_sub(self.ips[ip].sched[lane].out_pending);
             let addr = self.stream_addr(flow, stage, frame, offset, 1);
             self.mem
                 .submit(now, MemRequest::new(addr, bytes, MemOp::Write, WRITE_TAG));
@@ -1205,13 +1497,15 @@ impl SystemSim {
         // lanes hold one flow's data at a time.
         let cons_ip = self.flows[flow].spec.stages[stage + 1].ip.index();
         let cons_lane = self.flows[flow].lane_at[stage + 1];
-        let cl = &mut self.ips[cons_ip].lanes[cons_lane];
-        let head_matches = match (&cl.active, cl.queue.front()) {
-            (Some(a), _) => a.dispatch == dispatch && a.stage == stage + 1,
-            (None, Some(head)) => head.dispatch == dispatch && head.stage == stage + 1,
-            (None, None) => false,
+        let head_matches = if self.ips[cons_ip].active[cons_lane] {
+            let cs = &self.ips[cons_ip].sched[cons_lane];
+            cs.dispatch == dispatch && cs.stage == stage + 1
+        } else if let Some(head) = self.ips[cons_ip].queues[cons_lane].front() {
+            head.dispatch == dispatch && head.stage == stage + 1
+        } else {
+            false
         };
-        if !head_matches || !cl.buffer.try_reserve(bytes) {
+        if !head_matches || !self.ips[cons_ip].buffers[cons_lane].try_reserve(bytes) {
             if !self.ips[cons_ip].waiters.contains(&(ip, lane)) {
                 self.ips[cons_ip].waiters.push((ip, lane));
             }
@@ -1248,27 +1542,30 @@ impl SystemSim {
         if self.ips[ip].engine_busy {
             return;
         }
-        let nlanes = self.ips[ip].lanes.len();
+        let nlanes = self.ips[ip].active.len();
         let mut eligible = std::mem::take(&mut self.scratch_eligible);
         eligible.clear();
+        // The scan walks only the `active` flags and the `sched` array —
+        // the SoA split keeps transfer bookkeeping off these cache lines.
         for lane in 0..nlanes {
-            let Some(item) = self.ips[ip].lanes[lane].active.as_ref() else {
+            if !self.ips[ip].active[lane] {
                 continue;
-            };
-            if item.out_pending >= self.cfg.subframe_bytes
-                || item.rounds_computed >= item.n_rounds
-                || !self.doorbell_open(item)
+            }
+            let s = &self.ips[ip].sched[lane];
+            if s.out_pending >= self.cfg.subframe_bytes
+                || s.rounds_computed >= s.n_rounds
+                || !self.doorbell_open(s)
             {
                 continue;
             }
-            let need = Self::round_part(item.in_total, item.n_rounds, item.rounds_computed);
-            let need_side = Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
-            let available = match item.input {
+            let need = Self::round_part(s.in_total, s.n_rounds, s.rounds_computed);
+            let need_side = Self::round_part(s.side_total, s.n_rounds, s.rounds_computed);
+            let available = match s.input {
                 InputMode::None => u64::MAX,
-                InputMode::Dram => item.in_ready,
-                InputMode::Upstream => self.ips[ip].lanes[lane].buffer.used(),
+                InputMode::Dram => s.in_ready,
+                InputMode::Upstream => self.ips[ip].buffers[lane].used(),
             };
-            if available >= need && item.side_ready >= need_side {
+            if available >= need && s.side_ready >= need_side {
                 eligible.push(lane);
             }
         }
@@ -1281,21 +1578,11 @@ impl SystemSim {
             _ if eligible.len() == 1 => eligible[0],
             SchedPolicy::Edf => *eligible
                 .iter()
-                .min_by_key(|&&l| {
-                    let item = self.ips[ip].lanes[l].active.as_ref().expect("eligible");
-                    let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
-                    self.flows[item.flow].records[frame as usize].deadline
-                })
+                .min_by_key(|&&l| self.ips[ip].sched[l].deadline)
                 .expect("nonempty"),
             SchedPolicy::Fifo => *eligible
                 .iter()
-                .min_by_key(|&&l| {
-                    self.ips[ip].lanes[l]
-                        .active
-                        .as_ref()
-                        .expect("eligible")
-                        .dispatch
-                })
+                .min_by_key(|&&l| self.ips[ip].sched[l].seq)
                 .expect("nonempty"),
             SchedPolicy::RoundRobin => {
                 let start = self.ips[ip].engine_lane.map_or(0, |l| l + 1);
@@ -1311,11 +1598,12 @@ impl SystemSim {
             && matches!(self.cfg.sched_policy, SchedPolicy::Edf)
         {
             // Re-derive the earliest eligible deadline independently of the
-            // pick above and check the chosen lane matches it.
+            // pick above (chasing records, not the cached copy) and check
+            // the chosen lane matches it.
             let deadline_of = |l: usize| {
-                let item = self.ips[ip].lanes[l].active.as_ref().expect("eligible");
-                let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
-                self.flows[item.flow].records[frame as usize].deadline
+                let s = &self.ips[ip].sched[l];
+                let frame = self.dispatches[s.dispatch].frames[s.frame_pos];
+                self.flows[self.ips[ip].xfer[l].flow].records[frame as usize].deadline
             };
             let chosen = deadline_of(lane);
             let best = eligible
@@ -1329,34 +1617,31 @@ impl SystemSim {
 
         // Consume the round's input.
         let need = {
-            let item = self.ips[ip].lanes[lane].active.as_ref().expect("picked");
-            Self::round_part(item.in_total, item.n_rounds, item.rounds_computed)
+            let s = &self.ips[ip].sched[lane];
+            Self::round_part(s.in_total, s.n_rounds, s.rounds_computed)
         };
-        let input_mode = self.ips[ip].lanes[lane].active.as_ref().expect("x").input;
-        match input_mode {
+        match self.ips[ip].sched[lane].input {
             InputMode::None => {}
             InputMode::Dram => {
-                let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-                item.in_ready -= need;
-                item.in_consumed += need;
+                self.ips[ip].sched[lane].in_ready -= need;
+                self.ips[ip].xfer[lane].in_consumed += need;
             }
             InputMode::Upstream => {
-                self.ips[ip].lanes[lane].buffer.consume(need);
+                self.ips[ip].buffers[lane].consume(need);
                 if self.tracer.is_on() {
-                    let used = self.ips[ip].lanes[lane].buffer.used();
+                    let used = self.ips[ip].buffers[lane].used();
                     self.tracer.buffer_level(ip, lane, now, used);
                 }
-                let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-                item.in_consumed += need;
+                self.ips[ip].xfer[lane].in_consumed += need;
                 // Freed credit: the upstream producer may emit again.
                 self.wake_waiters(ip);
             }
         }
         {
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-            let need_side = Self::round_part(item.side_total, item.n_rounds, item.rounds_computed);
-            item.side_ready -= need_side;
-            item.side_consumed += need_side;
+            let s = &mut self.ips[ip].sched[lane];
+            let need_side = Self::round_part(s.side_total, s.n_rounds, s.rounds_computed);
+            s.side_ready -= need_side;
+            self.ips[ip].xfer[lane].side_consumed += need_side;
         }
 
         // Context switch accounting.
@@ -1368,18 +1653,19 @@ impl SystemSim {
             SimDelta::ZERO
         };
 
-        let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-        if !item.holds_active {
-            item.holds_active = true;
+        let first_round = {
+            let x = &mut self.ips[ip].xfer[lane];
+            let first = !x.holds_active;
+            x.holds_active = true;
+            if x.frame_begin.is_none() {
+                x.frame_begin = Some(now);
+            }
+            first
+        };
+        if first_round {
             self.ips[ip].stats.set_active(now, true);
         }
-        let round_compute = {
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-            if item.frame_begin.is_none() {
-                item.frame_begin = Some(now);
-            }
-            item.round_compute
-        };
+        let round_compute = self.ips[ip].xfer[lane].round_compute;
         let dur = round_compute + ctx;
         self.ips[ip].stats.add_compute(round_compute);
         self.ips[ip].engine_busy = true;
@@ -1389,7 +1675,7 @@ impl SystemSim {
             if switching {
                 self.tracer.ctx_switch(ip, lane, now);
             }
-            let flow = self.ips[ip].lanes[lane].active.as_ref().expect("x").flow;
+            let flow = self.ips[ip].xfer[lane].flow;
             self.tracer
                 .compute_round(ip, lane, &self.flows[flow].spec.name, now, now + dur);
         }
@@ -1398,13 +1684,11 @@ impl SystemSim {
     fn on_compute_done(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
         self.ips[ip].engine_busy = false;
         {
-            let item = self.ips[ip].lanes[lane]
-                .active
-                .as_mut()
-                .expect("compute item");
-            let r = item.rounds_computed;
-            item.rounds_computed += 1;
-            item.out_pending += Self::round_part(item.out_total, item.n_rounds, r);
+            let out_total = self.ips[ip].xfer[lane].out_total;
+            let s = &mut self.ips[ip].sched[lane];
+            let r = s.rounds_computed;
+            s.rounds_computed += 1;
+            s.out_pending += Self::round_part(out_total, s.n_rounds, r);
         }
         self.flush_output(ip, lane, sched);
         self.kick(ip);
@@ -1416,16 +1700,15 @@ impl SystemSim {
     fn complete_frame(&mut self, ip: usize, lane: usize, sched: &mut Scheduler<Ev>) {
         let now = sched.now();
         let (flow, stage, dispatch, frame, begin, footprint, item_done) = {
-            let item = self.ips[ip].lanes[lane]
-                .active
-                .as_mut()
-                .expect("frame item");
-            let frame = self.dispatches[item.dispatch].frames[item.frame_pos];
-            let begin = item.frame_begin.take().unwrap_or(now);
-            let fp = item.in_total.max(item.out_total);
-            item.frame_pos += 1;
-            let done = item.frame_pos == self.dispatches[item.dispatch].frames.len();
-            (item.flow, item.stage, item.dispatch, frame, begin, fp, done)
+            let s = self.ips[ip].sched[lane];
+            let begin = self.ips[ip].xfer[lane].frame_begin.take().unwrap_or(now);
+            let out_total = self.ips[ip].xfer[lane].out_total;
+            let flow = self.ips[ip].xfer[lane].flow;
+            let frame = self.dispatches[s.dispatch].frames[s.frame_pos];
+            let fp = s.in_total.max(out_total);
+            self.ips[ip].sched[lane].frame_pos += 1;
+            let done = s.frame_pos + 1 == self.dispatches[s.dispatch].frames.len();
+            (flow, s.stage, s.dispatch, frame, begin, fp, done)
         };
 
         self.ips[ip].stats.frames += 1;
@@ -1453,44 +1736,47 @@ impl SystemSim {
         }
 
         if item_done {
-            let holds = self.ips[ip].lanes[lane]
-                .active
-                .as_ref()
-                .expect("x")
-                .holds_active;
+            let holds = self.ips[ip].xfer[lane].holds_active;
             if holds {
                 self.ips[ip].stats.set_active(now, false);
             }
-            self.ips[ip].lanes[lane].active = None;
+            self.ips[ip].active[lane] = false;
             self.wake_waiters(ip);
             // Interrupt the CPU: per stage completion in non-chained
             // schemes; once per dispatch (at the final stage) when chained.
+            // An interrupt inherits this stage's dispatch ref (released
+            // when its payload is handled); otherwise release it here.
             if !self.cfg.scheme.chained() || last_stage {
                 self.raise_irq(sched, flow, dispatch, stage);
+            } else {
+                self.release_dispatch(dispatch);
             }
             self.kick(ip);
         } else {
-            // Next frame of the burst: reset per-frame progress.
-            let next_frame = self.dispatches[dispatch].frames[{
-                let item = self.ips[ip].lanes[lane].active.as_ref().expect("x");
-                item.frame_pos
-            }];
+            // Next frame of the burst: reset per-frame progress and
+            // refresh the cached deadline (record deadlines are immutable
+            // once created, so the cache stays valid until the next
+            // frame advance).
+            let next_frame = self.dispatches[dispatch].frames[self.ips[ip].sched[lane].frame_pos];
             let next_in = if stage == 0 {
                 self.flows[flow].spec.src_bytes_for(next_frame)
             } else {
                 self.flows[flow].spec.in_bytes(stage)
             };
-            let item = self.ips[ip].lanes[lane].active.as_mut().expect("x");
-            item.in_total = next_in;
-            item.rounds_computed = 0;
-            item.in_requested = 0;
-            item.in_ready = 0;
-            item.in_consumed = 0;
-            item.side_requested = 0;
-            item.side_ready = 0;
-            item.side_consumed = 0;
-            item.inflight_fetches = 0;
-            debug_assert_eq!(item.out_pending, 0);
+            let next_deadline = self.flows[flow].records[next_frame as usize].deadline;
+            let s = &mut self.ips[ip].sched[lane];
+            s.in_total = next_in;
+            s.rounds_computed = 0;
+            s.in_ready = 0;
+            s.side_ready = 0;
+            s.deadline = next_deadline;
+            debug_assert_eq!(s.out_pending, 0);
+            let x = &mut self.ips[ip].xfer[lane];
+            x.in_requested = 0;
+            x.in_consumed = 0;
+            x.side_requested = 0;
+            x.side_consumed = 0;
+            x.inflight_fetches = 0;
             self.kick(ip);
         }
     }
@@ -1520,14 +1806,16 @@ impl SystemSim {
             if c.tag == WRITE_TAG {
                 continue;
             }
-            if let Some(tag) = self.fetch_tags.remove(&c.tag) {
-                if let Some(item) = self.ips[tag.ip].lanes[tag.lane].active.as_mut() {
+            if let Some(tag) = self.fetch_tags.take(c.tag) {
+                if self.ips[tag.ip].active[tag.lane] {
+                    let s = &mut self.ips[tag.ip].sched[tag.lane];
                     if tag.side {
-                        item.side_ready += tag.bytes;
+                        s.side_ready += tag.bytes;
                     } else {
-                        item.in_ready += tag.bytes;
+                        s.in_ready += tag.bytes;
                     }
-                    item.inflight_fetches = item.inflight_fetches.saturating_sub(1);
+                    let x = &mut self.ips[tag.ip].xfer[tag.lane];
+                    x.inflight_fetches = x.inflight_fetches.saturating_sub(1);
                 }
                 self.kick(tag.ip);
             }
@@ -1538,14 +1826,14 @@ impl SystemSim {
     }
 
     fn on_sa_arrival(&mut self, ip: usize, lane: usize, bytes: u64, sched: &mut Scheduler<Ev>) {
-        self.ips[ip].lanes[lane].buffer.commit(bytes);
+        self.ips[ip].buffers[lane].commit(bytes);
         self.buffer_bytes_streamed += bytes;
         if self.tracer.is_on() {
-            let used = self.ips[ip].lanes[lane].buffer.used();
+            let used = self.ips[ip].buffers[lane].used();
             self.tracer.buffer_level(ip, lane, sched.now(), used);
         }
         if self.audit.is_on() {
-            let b = &self.ips[ip].lanes[lane].buffer;
+            let b = &self.ips[ip].buffers[lane];
             let (occupancy, capacity) = (b.used() + b.reserved(), b.capacity());
             self.audit.buffer_occupancy(ip, lane, occupancy, capacity);
         }
@@ -1754,6 +2042,31 @@ mod tests {
 
     fn run(scheme: Scheme, flows: Vec<FlowSpec>) -> SystemReport {
         SystemSim::run(quick_cfg(scheme), flows)
+    }
+
+    /// A freed slot's key must go stale: once the slot is reused, the old
+    /// generation's key misses instead of aliasing the new tag (ABA).
+    #[test]
+    fn fetch_slab_generation_prevents_aba() {
+        let mut slab = FetchSlab::default();
+        let tag = |ip| FetchTag {
+            ip,
+            lane: 0,
+            bytes: 64,
+            side: false,
+        };
+        let k0 = slab.alloc(tag(1));
+        assert_eq!(slab.take(k0).expect("live key").ip, 1);
+        let k1 = slab.alloc(tag(2));
+        assert_eq!(k1 as u32, k0 as u32, "freed slot must be reused");
+        assert_ne!(k1, k0, "reuse must bump the generation");
+        assert!(slab.take(k0).is_none(), "stale key aliased a reused slot");
+        assert_eq!(slab.take(k1).expect("live key").ip, 2);
+        assert!(
+            slab.take(k1).is_none(),
+            "a taken key must not resolve twice"
+        );
+        assert!(slab.take(u64::from(u32::MAX)).is_none(), "out of range");
     }
 
     /// The tracer observes; it must never perturb the simulation.

@@ -152,6 +152,34 @@ fn record_causality() {
     });
 }
 
+/// MemTick coalescing is purely a scheduling optimization: a run where
+/// every superseded tick still re-polls the memory system (the work the
+/// coalescer elides) must produce a digest-identical report — same event
+/// calendar, same energy bits — for any geometry under any scheme.
+#[test]
+fn eager_mem_poll_is_behavior_preserving() {
+    forall("eager mem poll", 8, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
+        let scheme = Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize];
+        let cfg = || {
+            let mut cfg = SystemConfig::table3(scheme);
+            cfg.duration = SimDelta::from_ms(150);
+            cfg
+        };
+        let lazy = SystemSim::run(cfg(), build(&geoms));
+        let eager = SystemSim::run_eager_mem_poll(cfg(), build(&geoms));
+        assert_eq!(
+            lazy.digest(),
+            eager.digest(),
+            "{scheme}: coalescing changed behavior"
+        );
+        assert_eq!(
+            lazy.events, eager.events,
+            "{scheme}: event calendar differs"
+        );
+    });
+}
+
 /// Determinism holds for arbitrary geometries.
 #[test]
 fn determinism() {

@@ -104,6 +104,14 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Pre-sizes the pending-event heap for at least `additional` more
+    /// events, so a model that can bound its concurrent event count from
+    /// workload geometry pays for heap growth once, up front, instead of
+    /// through doubling reallocations on the hot path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

@@ -68,12 +68,17 @@ pub struct Issued {
 const PIPELINE_DEPTH: usize = 2;
 
 /// One LPDDR3 channel: banks, a data bus, and an FR-FCFS queue.
+///
+/// The queue is a single arrival-ordered deque; observed depths stay in
+/// the tens (the doorbell credit scheme upstream bounds outstanding
+/// fetches), so the FR-FCFS scan is short and anything cleverer costs
+/// more in bookkeeping than it saves.
 #[derive(Debug)]
 pub struct Channel {
     cfg: DramConfig,
     banks: Vec<Bank>,
     bus_free_at: SimTime,
-    queue: VecDeque<(Burst, SimTime)>,
+    queue: VecDeque<Burst>,
     in_service: usize,
     next_refresh: SimTime,
     last_service_end: SimTime,
@@ -92,7 +97,7 @@ pub struct Channel {
 impl Channel {
     /// Creates an idle channel.
     pub fn new(cfg: DramConfig) -> Self {
-        let banks = (0..cfg.banks)
+        let banks: Vec<Bank> = (0..cfg.banks)
             .map(|_| Bank {
                 open_row: None,
                 ready_at: SimTime::ZERO,
@@ -116,25 +121,30 @@ impl Channel {
     }
 
     /// Performs any refreshes that have come due by `now`: every bank and
-    /// the bus stall for `tRFC` per elapsed `tREFI` window.
+    /// the bus stall for `tRFC` per elapsed `tREFI` window. All elapsed
+    /// windows are applied at once — the stalls of windows before the last
+    /// are subsumed by the last one's (`ready_at`/`bus_free_at` only ever
+    /// take maxima, and the resume times increase per window), so a
+    /// channel that idled through thousands of windows catches up in O(1)
+    /// instead of walking each window.
     fn catch_up_refresh(&mut self, now: SimTime) {
-        if self.cfg.t_refi == desim::SimDelta::ZERO {
+        if self.cfg.t_refi == desim::SimDelta::ZERO || self.next_refresh > now {
             return;
         }
-        while self.next_refresh <= now {
-            let resume = self.next_refresh + self.cfg.t_rfc;
-            for b in &mut self.banks {
-                b.ready_at = b.ready_at.max(resume);
-            }
-            self.bus_free_at = self.bus_free_at.max(resume);
-            self.refreshes += 1;
-            self.next_refresh += self.cfg.t_refi;
+        let windows = now.since(self.next_refresh).as_ns() / self.cfg.t_refi.as_ns() + 1;
+        let last = self.next_refresh + self.cfg.t_refi * (windows - 1);
+        let resume = last + self.cfg.t_rfc;
+        for b in &mut self.banks {
+            b.ready_at = b.ready_at.max(resume);
         }
+        self.bus_free_at = self.bus_free_at.max(resume);
+        self.refreshes += windows;
+        self.next_refresh = last + self.cfg.t_refi;
     }
 
     /// Queues a burst (does not issue it; call [`Channel::try_issue`]).
-    pub fn enqueue(&mut self, now: SimTime, burst: Burst) {
-        self.queue.push_back((burst, now));
+    pub fn enqueue(&mut self, _now: SimTime, burst: Burst) {
+        self.queue.push_back(burst);
         self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
     }
 
@@ -167,12 +177,12 @@ impl Channel {
         let pick = self
             .queue
             .iter()
-            .position(|(b, _)| {
+            .position(|b| {
                 let bank = &self.banks[b.bank];
                 bank.open_row == Some(b.row) && bank.ready_at <= now
             })
             .unwrap_or(0); // else FCFS
-        let (burst, _arrived) = self.queue.remove(pick).expect("pick in range");
+        let burst = self.queue.remove(pick).expect("pick in range");
 
         let bank = &mut self.banks[burst.bank];
         let (outcome, row_latency, activated) = match bank.open_row {

@@ -74,17 +74,39 @@ impl AddressMapper {
     /// lines that share `(channel, bank, row)` into `(place, nlines)`
     /// bursts — the controller transfers each burst back-to-back.
     pub fn split(&self, addr: u64, bytes: u64, line_bytes: u64) -> Vec<(Place, u64)> {
+        let mut out = Vec::new();
+        self.split_into(addr, bytes, line_bytes, &mut out);
+        out
+    }
+
+    /// Like [`split`](AddressMapper::split), but appends into a caller-owned
+    /// buffer, and computes the bursts arithmetically instead of walking
+    /// lines: in line-index space the low bits of an index select
+    /// `(channel, bank)` and the bits above the column select the row, so
+    /// within one row-stripe every group is a residue class mod
+    /// `channels × banks` and its size is a division, not a walk. Groups are
+    /// emitted in first-touch order — identical to the line walk's output.
+    pub fn split_into(&self, addr: u64, bytes: u64, line_bytes: u64, out: &mut Vec<(Place, u64)>) {
         let first = addr / line_bytes;
         let last = (addr + bytes - 1) / line_bytes;
-        let mut out: Vec<(Place, u64)> = Vec::new();
-        for line in first..=last {
-            let p = self.place(line * line_bytes);
-            match out.iter_mut().find(|(lp, _)| *lp == p) {
-                Some((_, n)) => *n += 1,
-                None => out.push((p, 1)),
+        // Geometry in line-index space (line_bytes is a power of two and
+        // `channel_shift` is its bit width, so byte shifts translate down).
+        let groups = (self.channel_mask + 1) * (self.bank_mask + 1);
+        let row_shift = self.column_shift - self.channel_shift;
+        let stripe = 1u64 << row_shift; // lines per (row × all channels × banks)
+        let mut a = first;
+        while a <= last {
+            // One row-stripe: residue classes never cross it (the row is
+            // part of the group key and changes at the boundary).
+            let b = last.min((a | (stripe - 1)).max(a));
+            let span = (b - a + 1).min(groups);
+            for l in a..a + span {
+                // `l` is the first line of its residue class within [a, b];
+                // the rest follow every `groups` lines.
+                out.push((self.place(l * line_bytes), (b - l) / groups + 1));
             }
+            a = b + 1;
         }
-        out
     }
 }
 

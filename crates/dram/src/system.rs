@@ -51,6 +51,8 @@ pub struct MemorySystem {
     /// only when the front burst retires.
     earliest: Option<(SimTime, u64, usize)>,
     seq: u64,
+    /// Reused split buffer: one allocation for every submit's burst list.
+    scratch_parts: Vec<(crate::mapping::Place, u64)>,
     ready: Vec<Completion>,
     stats: MemStats,
     #[cfg(feature = "trace")]
@@ -65,6 +67,10 @@ impl MemorySystem {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("invalid DRAM config");
+        assert!(
+            cfg.channels <= 64,
+            "channel touch-set is tracked in a u64 bitmask"
+        );
         let mapper = AddressMapper::new(&cfg);
         let channels: Vec<Channel> = (0..cfg.channels)
             .map(|_| Channel::new(cfg.clone()))
@@ -79,6 +85,7 @@ impl MemorySystem {
             in_flight,
             earliest: None,
             seq: 0,
+            scratch_parts: Vec::new(),
             ready: Vec::new(),
             stats: MemStats::new(),
             #[cfg(feature = "trace")]
@@ -100,8 +107,39 @@ impl MemorySystem {
     }
 
     /// Accumulated statistics.
-    pub fn stats(&self) -> &MemStats {
+    ///
+    /// Takes `&mut self`: the refresh/power counters live on the channels
+    /// during the run and are folded into the stats block lazily here,
+    /// keeping them off the per-pump hot path.
+    pub fn stats(&mut self) -> &MemStats {
+        self.sync_channel_stats();
         &self.stats
+    }
+
+    /// Folds the per-channel refresh and power-state counters into the
+    /// stats block. Counters are monotonic, so booking the delta at read
+    /// time yields the same totals as the old per-pump sync.
+    fn sync_channel_stats(&mut self) {
+        let mut refreshes = 0u64;
+        let mut standby_ns = 0u64;
+        let mut powerdown_ns = 0u64;
+        let mut powerdown_exits = 0u64;
+        for c in &self.channels {
+            refreshes += c.refreshes;
+            standby_ns += c.standby_ns;
+            powerdown_ns += c.powerdown_ns;
+            powerdown_exits += c.powerdown_exits;
+        }
+        let sync = |total: u64, counter: &mut desim::stats::Counter| {
+            let booked = counter.get();
+            if total > booked {
+                counter.add(total - booked);
+            }
+        };
+        sync(refreshes, &mut self.stats.refreshes);
+        sync(standby_ns, &mut self.stats.standby_ns);
+        sync(powerdown_ns, &mut self.stats.powerdown_ns);
+        sync(powerdown_exits, &mut self.stats.powerdown_exits);
     }
 
     /// Total bursts currently queued across channels (diagnostics).
@@ -132,7 +170,10 @@ impl MemorySystem {
             return;
         }
 
-        let parts = self.mapper.split(req.addr, req.bytes, self.cfg.line_bytes);
+        let mut parts = std::mem::take(&mut self.scratch_parts);
+        parts.clear();
+        self.mapper
+            .split_into(req.addr, req.bytes, self.cfg.line_bytes, &mut parts);
         let parent_idx = match self.free_parents.pop() {
             Some(i) => {
                 self.parents[i] = Parent {
@@ -154,7 +195,9 @@ impl MemorySystem {
             }
         };
 
-        for (place, lines) in parts {
+        let mut touched = 0u64;
+        for &(place, lines) in &parts {
+            touched |= 1 << place.channel;
             self.channels[place.channel].enqueue(
                 now,
                 Burst {
@@ -166,13 +209,24 @@ impl MemorySystem {
                 },
             );
         }
-        self.pump(now);
+        self.scratch_parts = parts;
+        self.pump(now, touched);
     }
 
     /// Lets idle channels pick up queued work; called internally on submit
-    /// and collection.
-    fn pump(&mut self, now: SimTime) {
-        for (ci, ch) in self.channels.iter_mut().enumerate() {
+    /// and collection with the bitmask of channels touched since the last
+    /// pump. Targeting is exact, not heuristic: `try_issue` refuses only on
+    /// a full pipeline or an empty queue, and both change solely through
+    /// that channel's own `enqueue`/`service_complete` — after a pump every
+    /// channel is issue-exhausted, so an untouched channel still has
+    /// nothing to issue. Bits are drained in ascending channel order so
+    /// `seq` assignment (the completion-merge tie-break) is identical to a
+    /// full scan.
+    fn pump(&mut self, now: SimTime, mut touched: u64) {
+        while touched != 0 {
+            let ci = touched.trailing_zeros() as usize;
+            touched &= touched - 1;
+            let ch = &mut self.channels[ci];
             while let Some(issued) = ch.try_issue(now) {
                 match issued.outcome {
                     RowOutcome::Hit => self.stats.row_hits.incr(),
@@ -214,28 +268,6 @@ impl MemorySystem {
                 self.seq += 1;
             }
         }
-        let sync = |total: u64, counter: &mut desim::stats::Counter| {
-            let booked = counter.get();
-            if total > booked {
-                counter.add(total - booked);
-            }
-        };
-        sync(
-            self.channels.iter().map(|c| c.refreshes).sum(),
-            &mut self.stats.refreshes,
-        );
-        sync(
-            self.channels.iter().map(|c| c.standby_ns).sum(),
-            &mut self.stats.standby_ns,
-        );
-        sync(
-            self.channels.iter().map(|c| c.powerdown_ns).sum(),
-            &mut self.stats.powerdown_ns,
-        );
-        sync(
-            self.channels.iter().map(|c| c.powerdown_exits).sum(),
-            &mut self.stats.powerdown_exits,
-        );
     }
 
     /// The earliest instant at which a completion will be available, if any
@@ -277,7 +309,7 @@ impl MemorySystem {
     /// one allocation across ticks.
     pub fn collect_completions_into(&mut self, now: SimTime, out: &mut Vec<Completion>) {
         out.append(&mut self.ready);
-        let mut any_freed = false;
+        let mut freed = 0u64;
         while let Some((t, _, ci)) = self.earliest {
             if t > now {
                 break;
@@ -289,7 +321,7 @@ impl MemorySystem {
             if let Some(p) = self.probe.0.as_mut() {
                 p(DramProbe::Complete { channel: ci, at: t });
             }
-            any_freed = true;
+            freed |= 1 << ci;
             let p = &mut self.parents[parent];
             p.remaining -= 1;
             if p.remaining == 0 {
@@ -306,8 +338,8 @@ impl MemorySystem {
                 self.free_parents.push(parent);
             }
         }
-        if any_freed {
-            self.pump(now);
+        if freed != 0 {
+            self.pump(now, freed);
         }
     }
 
