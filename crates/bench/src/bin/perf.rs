@@ -7,17 +7,24 @@
 //! performance trajectory is tracked PR over PR.
 //!
 //! ```text
-//! cargo run --release -p vip-bench --bin perf            # BENCH_1.json
+//! cargo run --release -p vip-bench --bin perf            # BENCH_2.json
 //! cargo run --release -p vip-bench --bin perf -- --ms 150 --out /tmp/b.json
 //! cargo run --release -p vip-bench --bin perf -- --out /tmp/b.json \
-//!     --assert-within 2        # fail if >2% events/sec below BENCH_1.json
+//!     --assert-within 2        # fail if >2% events/sec below BENCH_2.json
 //! ```
 //!
 //! `--assert-within <pct>` compares the fresh measurement against a
-//! baseline file (`--baseline <path>`, default the tracked BENCH_1.json)
+//! baseline file (`--baseline <path>`, default the tracked BENCH_2.json;
+//! BENCH_1.json keeps the previous pin for trajectory history)
 //! and exits nonzero on a regression beyond the tolerance. This is the
 //! guard that keeps the telemetry layer zero-cost: a build without the
 //! `trace` feature must stay within noise of the tracked number.
+//!
+//! `--breakdown` additionally prints dispatch counts per event kind (and
+//! each kind's events/sec), so perf work can see where the event budget
+//! goes. It counts through the trace feature's dispatch hook, so it needs
+//! `--features trace` — and the measured throughput then includes the
+//! hook, making it incomparable with tracked (untraced) numbers.
 
 use std::time::Instant;
 
@@ -47,13 +54,24 @@ fn main() {
             .and_then(|i| argv.get(i + 1).cloned())
     };
     let ms: u64 = get("--ms").and_then(|v| v.parse().ok()).unwrap_or(300);
-    let tracked = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_1.json");
+    let tracked = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     let out = get("--out").unwrap_or_else(|| tracked.to_string());
     let assert_within: Option<f64> = get("--assert-within").map(|v| {
         v.parse()
             .unwrap_or_else(|_| panic!("--assert-within wants a percentage, got '{v}'"))
     });
     let baseline_path = get("--baseline").unwrap_or_else(|| tracked.to_string());
+    let breakdown = argv.iter().any(|a| a == "--breakdown");
+    #[cfg(not(feature = "trace"))]
+    if breakdown {
+        eprintln!(
+            "--breakdown counts dispatches through the trace feature's hook; rebuild with:\n  \
+             cargo run --release -p vip-bench --features trace --bin perf -- --breakdown"
+        );
+        std::process::exit(2);
+    }
+    #[cfg(feature = "trace")]
+    let mut kind_totals = vip_core::EventCounts::default();
     // Read the baseline up front: with default paths the measurement is
     // written over the baseline file, and reading it afterwards would
     // compare the run against itself (a vacuous assert).
@@ -79,6 +97,15 @@ fn main() {
     for &unit in &units {
         for &scheme in &Scheme::ALL {
             let cell0 = Instant::now();
+            #[cfg(feature = "trace")]
+            let report = if breakdown {
+                let (report, counts) = unit.run_counted(scheme, settings);
+                kind_totals.add(&counts);
+                report
+            } else {
+                unit.run(scheme, settings)
+            };
+            #[cfg(not(feature = "trace"))]
             let report = unit.run(scheme, settings);
             events += report.events;
             digest ^= report.digest().rotate_left((events % 63) as u32);
@@ -94,6 +121,26 @@ fn main() {
     let wall = t0.elapsed();
     let wall_ms = wall.as_secs_f64() * 1e3;
     let events_per_sec = events as f64 / wall.as_secs_f64();
+
+    #[cfg(feature = "trace")]
+    if breakdown {
+        let total = kind_totals.total();
+        assert_eq!(total, events, "hook must see every dispatch");
+        println!(
+            "\n{:<12} {:>12} {:>7} {:>12}",
+            "kind", "dispatches", "share", "events/sec"
+        );
+        for (name, count) in kind_totals.named() {
+            println!(
+                "{:<12} {:>12} {:>6.1}% {:>12.0}",
+                name,
+                count,
+                count as f64 / total as f64 * 100.0,
+                count as f64 / wall.as_secs_f64(),
+            );
+        }
+        println!("(counted through the trace hook: throughput is not comparable with tracked untraced numbers)");
+    }
 
     let json = format!(
         "{{\n  \"wall_ms\": {wall_ms:.3},\n  \"events\": {events},\n  \

@@ -93,6 +93,27 @@ impl Unit {
         }
     }
 
+    /// Runs this unit under a scheme counting dispatches per event kind
+    /// (via the engine's trace-only hook). The report digest is identical
+    /// to [`Unit::run`]'s — the hook only observes.
+    #[cfg(feature = "trace")]
+    pub fn run_counted(
+        self,
+        scheme: Scheme,
+        settings: RunSettings,
+    ) -> (SystemReport, vip_core::EventCounts) {
+        match self {
+            Unit::App(a) => {
+                let spec = a.spec(settings.seed, 0);
+                SystemSim::run_with_event_counts(settings.config(scheme), spec.flows)
+            }
+            Unit::Wkld(w) => {
+                let spec = w.spec(settings.seed);
+                SystemSim::run_with_event_counts(settings.config(scheme), spec.flows())
+            }
+        }
+    }
+
     /// Runs this unit under a scheme with the runtime sanitizer armed.
     ///
     /// The report is digest-bit-identical to [`Unit::run`]'s (the golden
