@@ -66,7 +66,7 @@ const H002_ALLOW: [&str; 8] = [
 /// The engine dispatch loop and `SystemSim` dispatch scratch paths: the
 /// functions that execute per event in steady state and must never
 /// allocate. Keyed by path suffix so fixtures can impersonate the files.
-const H001_HOT_FNS: [(&str, &[&str]); 2] = [
+const H001_HOT_FNS: [(&str, &[&str]); 5] = [
     (
         "crates/desim/src/engine.rs",
         &[
@@ -92,7 +92,11 @@ const H001_HOT_FNS: [(&str, &[&str]); 2] = [
             "kick",
             "drain_kicks",
             "ensure_mem_tick",
+            "alloc",
+            "take",
             "alloc_tag",
+            "retain_dispatch",
+            "release_dispatch",
             "submit_cpu_task",
             "raise_irq",
             "doorbell_open",
@@ -110,6 +114,25 @@ const H001_HOT_FNS: [(&str, &[&str]); 2] = [
             "stream_addr",
         ],
     ),
+    (
+        "crates/dram/src/system.rs",
+        &[
+            "submit",
+            "pump",
+            "collect_completions_into",
+            "refresh_earliest",
+        ],
+    ),
+    (
+        "crates/dram/src/channel.rs",
+        &[
+            "catch_up_refresh",
+            "enqueue",
+            "service_complete",
+            "try_issue",
+        ],
+    ),
+    ("crates/dram/src/mapping.rs", &["place", "split_into"]),
 ];
 
 /// Applies every rule in scope for `src.path`.
