@@ -7,18 +7,29 @@
 //! performance trajectory is tracked PR over PR.
 //!
 //! ```text
-//! cargo run --release -p vip-bench --bin perf            # BENCH_2.json
+//! cargo run --release -p vip-bench --bin perf            # BENCH_3.json
 //! cargo run --release -p vip-bench --bin perf -- --ms 150 --out /tmp/b.json
 //! cargo run --release -p vip-bench --bin perf -- --out /tmp/b.json \
-//!     --assert-within 2        # fail if >2% events/sec below BENCH_2.json
+//!     --assert-within 2        # fail if >2% events/sec below BENCH_3.json
+//! cargo run --release -p vip-bench --bin perf -- --aggregate \
+//!     --out BENCH_3.json       # also measure whole-matrix throughput
 //! ```
 //!
 //! `--assert-within <pct>` compares the fresh measurement against a
-//! baseline file (`--baseline <path>`, default the tracked BENCH_2.json;
-//! BENCH_1.json keeps the previous pin for trajectory history)
-//! and exits nonzero on a regression beyond the tolerance. This is the
-//! guard that keeps the telemetry layer zero-cost: a build without the
-//! `trace` feature must stay within noise of the tracked number.
+//! baseline file (`--baseline <path>`, default the tracked BENCH_3.json;
+//! BENCH_1.json/BENCH_2.json keep the previous pins for trajectory
+//! history) and exits nonzero on a regression beyond the tolerance. This
+//! is the guard that keeps the telemetry layer zero-cost: a build without
+//! the `trace` feature must stay within noise of the tracked number.
+//!
+//! `--aggregate` additionally runs the same pinned matrix through the
+//! worker pool (`--workers <n>`, default the host's parallelism) with one
+//! warm, reusable simulation cell per worker, and records
+//! `aggregate_events_per_sec` — whole-matrix throughput, the number a
+//! population-scale campaign sees. The combined report digest is
+//! cross-checked against the single-thread pass, so the aggregate path
+//! cannot drift behaviorally. With `--assert-within`, the aggregate
+//! number is guarded against the baseline's too (when present).
 //!
 //! `--breakdown` additionally prints dispatch counts per event kind (and
 //! each kind's events/sec), so perf work can see where the event budget
@@ -28,7 +39,7 @@
 
 use std::time::Instant;
 
-use vip_bench::{RunSettings, Unit};
+use vip_bench::{Matrix, RunSettings, Unit};
 use vip_core::Scheme;
 use workloads::{App, Workload};
 
@@ -54,7 +65,7 @@ fn main() {
             .and_then(|i| argv.get(i + 1).cloned())
     };
     let ms: u64 = get("--ms").and_then(|v| v.parse().ok()).unwrap_or(300);
-    let tracked = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+    let tracked = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
     let out = get("--out").unwrap_or_else(|| tracked.to_string());
     let assert_within: Option<f64> = get("--assert-within").map(|v| {
         v.parse()
@@ -62,6 +73,14 @@ fn main() {
     });
     let baseline_path = get("--baseline").unwrap_or_else(|| tracked.to_string());
     let breakdown = argv.iter().any(|a| a == "--breakdown");
+    let aggregate = argv.iter().any(|a| a == "--aggregate");
+    let workers: usize = get("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     #[cfg(not(feature = "trace"))]
     if breakdown {
         eprintln!(
@@ -142,9 +161,45 @@ fn main() {
         println!("(counted through the trace hook: throughput is not comparable with tracked untraced numbers)");
     }
 
+    // Aggregate pass: the same pinned matrix through the worker pool,
+    // one warm reusable cell per worker. The combined digest must match
+    // the single-thread pass — the aggregate path may only be faster,
+    // never different.
+    let mut aggregate_events_per_sec: Option<f64> = None;
+    if aggregate {
+        let _ = Matrix::run_subset_workers(RunSettings::with_ms(50), &units, workers);
+        let t1 = Instant::now();
+        let m = Matrix::run_subset_workers(settings, &units, workers);
+        let agg_wall = t1.elapsed();
+        let mut agg_events = 0u64;
+        let mut agg_digest = 0u64;
+        for report in m.results.iter().flatten() {
+            agg_events += report.events;
+            agg_digest ^= report.digest().rotate_left((agg_events % 63) as u32);
+        }
+        assert_eq!(
+            (agg_events, agg_digest),
+            (events, digest),
+            "aggregate pass drifted from the single-thread pass"
+        );
+        let eps = agg_events as f64 / agg_wall.as_secs_f64();
+        aggregate_events_per_sec = Some(eps);
+        println!(
+            "aggregate: {agg_events} events in {:.1} ms on {workers} worker(s) = {:.2} M events/sec",
+            agg_wall.as_secs_f64() * 1e3,
+            eps / 1e6
+        );
+    }
+
+    let aggregate_fields = match aggregate_events_per_sec {
+        Some(eps) => format!(
+            "  \"aggregate_events_per_sec\": {eps:.1},\n  \"aggregate_workers\": {workers},\n"
+        ),
+        None => String::new(),
+    };
     let json = format!(
         "{{\n  \"wall_ms\": {wall_ms:.3},\n  \"events\": {events},\n  \
-         \"events_per_sec\": {events_per_sec:.1},\n  \"sim_ms_per_cell\": {ms},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n{aggregate_fields}  \"sim_ms_per_cell\": {ms},\n  \
          \"cells\": {cells},\n  \"report_digest\": \"{digest:#018x}\"\n}}\n",
         cells = units.len() * Scheme::ALL.len(),
     );
@@ -182,6 +237,25 @@ fn main() {
                 -delta_pct
             );
             std::process::exit(1);
+        }
+        // Guard the aggregate number too when both sides have one.
+        if let (Some(eps), Some(base_agg)) = (
+            aggregate_events_per_sec,
+            base.get("aggregate_events_per_sec")
+                .and_then(|v| v.as_f64()),
+        ) {
+            let agg_delta_pct = (eps - base_agg) / base_agg * 100.0;
+            println!(
+                "aggregate baseline {:.2} M events/sec, delta {agg_delta_pct:+.2}% (tolerance -{pct}%)",
+                base_agg / 1e6
+            );
+            if agg_delta_pct < -pct {
+                eprintln!(
+                    "PERF REGRESSION: aggregate events/sec fell {:.2}% below baseline (allowed {pct}%)",
+                    -agg_delta_pct
+                );
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 //! units × schemes matrix that Figs 15–18 all consume.
 
 use desim::SimDelta;
-use vip_core::{Scheme, SystemConfig, SystemReport, SystemSim};
+use vip_core::{Scheme, SimCell, SystemConfig, SystemReport, SystemSim};
 use workloads::{App, Workload};
 
 /// Settings shared by every experiment run.
@@ -37,6 +37,13 @@ impl RunSettings {
         cfg.duration = self.duration;
         cfg.seed = self.seed;
         cfg
+    }
+
+    /// One interned config per scheme (indexed by `Scheme::ALL` position),
+    /// built once and shared by every matrix cell instead of
+    /// re-deriving the Table 3 platform per run.
+    fn configs(&self) -> Vec<SystemConfig> {
+        Scheme::ALL.iter().map(|&s| self.config(s)).collect()
     }
 }
 
@@ -90,6 +97,35 @@ impl Unit {
         match self {
             Unit::App(a) => run_app(a, scheme, settings),
             Unit::Wkld(w) => run_workload(w, scheme, settings),
+        }
+    }
+
+    /// This unit's flow set (what [`Unit::run`] would simulate).
+    fn flows(self, settings: RunSettings) -> Vec<vip_core::FlowSpec> {
+        match self {
+            Unit::App(a) => a.spec(settings.seed, 0).flows,
+            Unit::Wkld(w) => w.spec(settings.seed).flows(),
+        }
+    }
+
+    /// Runs this unit under an interned `cfg` on a reusable cell: an
+    /// existing warm cell is reset in place, reusing its allocations; an
+    /// empty slot is populated with a fresh one. The report is
+    /// bit-identical to [`Unit::run`]'s (the golden matrix test runs
+    /// through this path on every worker count).
+    pub fn run_warm(
+        self,
+        cfg: &SystemConfig,
+        settings: RunSettings,
+        cell: &mut Option<SimCell>,
+    ) -> SystemReport {
+        let flows = self.flows(settings);
+        match cell {
+            Some(cell) => {
+                cell.reset(cfg, &flows);
+                cell.run()
+            }
+            None => cell.insert(SimCell::new(cfg.clone(), flows)).run(),
         }
     }
 
@@ -180,18 +216,23 @@ impl Matrix {
             .flat_map(|u| (0..Scheme::ALL.len()).map(move |s| (u, s)))
             .collect();
         let workers = workers.min(cells.len().max(1));
+        let configs = settings.configs();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let (tx, rx) = std::sync::mpsc::channel::<(usize, SystemReport)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
+                let configs = &configs;
                 scope.spawn(|| {
                     let tx = tx; // move the clone into this worker
+                                 // One warm simulation cell per worker, reset (not
+                                 // reconstructed) for each cell it claims.
+                    let mut cell: Option<SimCell> = None;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(&(u, s)) = cells.get(i) else { break };
-                        let report = units[u].run(Scheme::ALL[s], settings);
+                        let report = units[u].run_warm(&configs[s], settings, &mut cell);
                         tx.send((i, report)).expect("collector alive");
                     }
                 });

@@ -72,6 +72,7 @@ pub use header::HeaderPacket;
 pub use metrics::{FlowReport, FrameRecord, SystemReport};
 #[cfg(feature = "trace")]
 pub use sim::EventCounts;
+pub use sim::SimCell;
 pub use sim::SystemSim;
 #[cfg(feature = "trace")]
 pub use telem::TraceSession;

@@ -180,6 +180,69 @@ fn eager_mem_poll_is_behavior_preserving() {
     });
 }
 
+/// Batched coincident dispatch must be invisible: grouping same-instant
+/// events into one `handle_batch` call (with contiguous same-kind runs
+/// coalesced) reproduces the per-event schedule bit-for-bit on random
+/// geometries, under every scheme.
+#[test]
+fn batched_dispatch_is_behavior_preserving() {
+    forall("batched dispatch", 8, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
+        let scheme = Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize];
+        let cfg = || {
+            let mut cfg = SystemConfig::table3(scheme);
+            cfg.duration = SimDelta::from_ms(150);
+            cfg
+        };
+        let batched = SystemSim::run(cfg(), build(&geoms));
+        let per_event = SystemSim::run_per_event_dispatch(cfg(), build(&geoms));
+        assert_eq!(
+            batched.digest(),
+            per_event.digest(),
+            "{scheme}: batching changed behavior"
+        );
+        assert_eq!(
+            batched.events, per_event.events,
+            "{scheme}: event calendar differs"
+        );
+    });
+}
+
+/// Reusing a warm cell must be invisible: resetting one `SimCell`
+/// through a random sequence of shapes yields, at every step, the digest
+/// a freshly constructed cell produces for that shape.
+#[test]
+fn cell_reuse_is_behavior_preserving() {
+    forall("cell reuse", 6, |rng| {
+        let mut cell: Option<vip_core::SimCell> = None;
+        for _ in 0..3 {
+            let geoms = vec_of(rng, 1, 3, arb_flow);
+            let scheme = Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize];
+            let mut cfg = SystemConfig::table3(scheme);
+            cfg.duration = SimDelta::from_ms(150);
+            let flows = build(&geoms);
+            let fresh = SystemSim::run(cfg.clone(), flows.clone());
+            let warm = match cell.as_mut() {
+                Some(cell) => {
+                    cell.reset(&cfg, &flows);
+                    cell.run()
+                }
+                None => {
+                    let mut fresh_cell = vip_core::SimCell::new(cfg, flows);
+                    let report = fresh_cell.run();
+                    cell = Some(fresh_cell);
+                    report
+                }
+            };
+            assert_eq!(
+                warm.digest(),
+                fresh.digest(),
+                "{scheme}: warm cell drifted from fresh"
+            );
+        }
+    });
+}
+
 /// Determinism holds for arbitrary geometries.
 #[test]
 fn determinism() {

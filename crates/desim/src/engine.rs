@@ -25,6 +25,24 @@ pub trait Model {
     /// Reacts to one event. `sched` is the live calendar: the model may
     /// schedule or cancel events and read the current time from it.
     fn handle(&mut self, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Reacts to a batch of events sharing one instant, delivered in
+    /// `(time, insertion sequence)` order (see
+    /// [`Scheduler::drain_coincident_into`]). The model must drain the
+    /// batch completely; events the model schedules *at* the current
+    /// instant while handling the batch form a follow-up batch — exactly
+    /// where they would have fired per-event, since fresh entries carry
+    /// larger sequence numbers than everything drained.
+    ///
+    /// The default dispatches per event in batch order, which is
+    /// observationally identical to [`Engine::run_until`]; models may
+    /// override to amortize work across a coincident batch as long as the
+    /// observable schedule stays the same.
+    fn handle_batch(&mut self, batch: &mut Vec<Self::Event>, sched: &mut Scheduler<Self::Event>) {
+        for ev in batch.drain(..) {
+            self.handle(ev, sched);
+        }
+    }
 }
 
 /// Handle to a scheduled event, usable with [`Scheduler::cancel`].
@@ -110,6 +128,24 @@ impl<E> Scheduler<E> {
     /// through doubling reallocations on the hot path.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);
+    }
+
+    /// Rewinds the calendar to an empty state at time zero while keeping
+    /// every allocation — the heap's backing storage and the tombstone
+    /// set's table survive, so a re-seeded run pays no growth phase. This
+    /// is the across-runs half of cell reuse: a warm scheduler plus a
+    /// model-level reset re-runs a cell without reconstructing either.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.front = None;
+        self.heap.clear();
+        self.cancelled.clear();
+        self.dispatched = 0;
+        #[cfg(feature = "audit")]
+        {
+            self.audit_pops = 0;
+        }
     }
 
     /// The current simulated time.
@@ -226,6 +262,55 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Pops *every* pending event sharing the earliest live instant into
+    /// `batch`, preserving `(time, insertion sequence)` order, and returns
+    /// how many were drained (0 iff the calendar is empty). The clock
+    /// advances to that instant and each drained event counts as
+    /// dispatched, exactly as under per-event [`pop`](Self::pop)s.
+    ///
+    /// `batch` must arrive empty; the caller owns it and reuses it across
+    /// drains so the steady state allocates nothing.
+    pub fn drain_coincident_into(&mut self, batch: &mut Vec<E>) -> usize {
+        debug_assert!(batch.is_empty(), "coincident batch not drained");
+        let Some((at, ev)) = self.pop() else {
+            return 0;
+        };
+        batch.push(ev);
+        self.drain_followers_into(at, batch);
+        batch.len()
+    }
+
+    /// Pops every further pending event at exactly `at` into `batch`
+    /// (the tail of a coincident drain; the head event was popped by the
+    /// caller). The first later-instant entry encountered is stashed in
+    /// the front slot rather than re-pushed: it came off the heap top,
+    /// so it is the minimum and the slot invariant holds — and the next
+    /// peek/pop then hit the slot instead of the heap.
+    fn drain_followers_into(&mut self, at: SimTime, batch: &mut Vec<E>) {
+        loop {
+            let entry = match self.front.take() {
+                Some(f) => f,
+                None => match self.heap.pop() {
+                    Some(e) => e,
+                    None => return,
+                },
+            };
+            if self.consume_tombstone(entry.seq) {
+                continue;
+            }
+            if entry.at != at {
+                self.front = Some(entry);
+                return;
+            }
+            #[cfg(feature = "audit")]
+            {
+                self.audit_pops += 1;
+            }
+            self.dispatched += 1;
+            batch.push(entry.ev);
+        }
+    }
+
     /// The instant of the next live (un-cancelled) event, if any.
     /// Cancelled entries encountered on the way are discarded, so repeated
     /// peeks stay cheap.
@@ -296,6 +381,9 @@ pub type DispatchHook<M> = Box<dyn FnMut(SimTime, &<M as Model>::Event)>;
 pub struct Engine<M: Model> {
     model: M,
     sched: Scheduler<M::Event>,
+    /// Reused coincident-batch scratch for [`Engine::run_until_batched`];
+    /// empty between drains.
+    batch: Vec<M::Event>,
     /// Observation point for telemetry: called with `(now, &event)` just
     /// before every dispatch. Only exists under the `trace` feature, so the
     /// default build's dispatch loop carries no branch for it.
@@ -309,6 +397,7 @@ impl<M: Model> Engine<M> {
         Engine {
             model,
             sched: Scheduler::new(),
+            batch: Vec::new(),
             #[cfg(feature = "trace")]
             dispatch_hook: None,
         }
@@ -391,6 +480,52 @@ impl<M: Model> Engine<M> {
                 }
             }
         }
+    }
+
+    /// Like [`run_until`](Self::run_until), but delivers all events
+    /// sharing an instant to the model in one [`Model::handle_batch`]
+    /// call: one peek/drain per *instant* instead of per event, with the
+    /// batch buffer reused across instants. Events scheduled at the
+    /// current instant from inside the batch fire in a follow-up batch,
+    /// in their insertion order — the position per-event dispatch would
+    /// have given them.
+    ///
+    /// The trace-feature dispatch hook observes every drained event (in
+    /// batch order, before the model handles the batch), so counted runs
+    /// see identical totals to [`run_until`](Self::run_until).
+    pub fn run_until_batched(&mut self, horizon: SimTime) -> RunOutcome {
+        let mut batch = std::mem::take(&mut self.batch);
+        let outcome = loop {
+            match self.sched.peek() {
+                None => break RunOutcome::Drained,
+                Some(at) if at > horizon => break RunOutcome::HorizonReached,
+                Some(_) => {
+                    let (at, ev) = self.sched.pop().expect("peeked event");
+                    // Most instants carry exactly one event; dispatch those
+                    // without touching the batch vector. `next_event_time`
+                    // is a raw head read that may report a cancelled head —
+                    // a stale hit at `at` merely detours through the batch
+                    // path, which consumes the tombstone correctly.
+                    if self.sched.next_event_time() != Some(at) {
+                        self.observe_dispatch(at, &ev);
+                        self.model.handle(ev, &mut self.sched);
+                    } else {
+                        batch.push(ev);
+                        self.sched.drain_followers_into(at, &mut batch);
+                        #[cfg(feature = "trace")]
+                        {
+                            for ev in batch.iter() {
+                                self.observe_dispatch(at, ev);
+                            }
+                        }
+                        self.model.handle_batch(&mut batch, &mut self.sched);
+                        debug_assert!(batch.is_empty(), "model must drain the batch");
+                    }
+                }
+            }
+        };
+        self.batch = batch;
+        outcome
     }
 
     /// Runs until the calendar drains or `budget` events have been
@@ -586,6 +721,139 @@ mod tests {
         eng.run();
         assert_eq!(*seen.borrow(), vec![(10, 1), (20, 2), (30, 3)]);
         assert_eq!(eng.model().seen, *seen.borrow(), "hook matches model");
+    }
+
+    #[test]
+    fn drain_coincident_pops_the_whole_instant_in_seq_order() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(5), 1);
+        eng.scheduler().at(SimTime::from_ns(5), 2);
+        eng.scheduler().at(SimTime::from_ns(9), 3);
+        let mut batch = Vec::new();
+        assert_eq!(eng.scheduler().drain_coincident_into(&mut batch), 2);
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(eng.scheduler().now(), SimTime::from_ns(5));
+        assert_eq!(eng.scheduler().events_dispatched(), 2);
+        batch.clear();
+        assert_eq!(eng.scheduler().drain_coincident_into(&mut batch), 1);
+        assert_eq!(batch, vec![3]);
+        batch.clear();
+        assert_eq!(eng.scheduler().drain_coincident_into(&mut batch), 0);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn drain_coincident_skips_cancelled_entries() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(5), 1);
+        let dropped = eng.scheduler().at(SimTime::from_ns(5), 2);
+        eng.scheduler().at(SimTime::from_ns(5), 3);
+        eng.scheduler().cancel(dropped);
+        let mut batch = Vec::new();
+        assert_eq!(eng.scheduler().drain_coincident_into(&mut batch), 2);
+        assert_eq!(batch, vec![1, 3]);
+    }
+
+    #[test]
+    fn batched_run_matches_per_event_run() {
+        // A same-instant burst interleaved with later singletons; the
+        // default handle_batch must reproduce per-event order exactly.
+        let schedule = |eng: &mut Engine<Recorder>| {
+            eng.scheduler().at(SimTime::from_ns(7), 0);
+            eng.scheduler().at(SimTime::from_ns(3), 1);
+            eng.scheduler().at(SimTime::from_ns(3), 2);
+            eng.scheduler().at(SimTime::from_ns(3), 3);
+            eng.scheduler().at(SimTime::from_ns(9), 4);
+        };
+        let mut per_event = Engine::new(Recorder::default());
+        schedule(&mut per_event);
+        assert_eq!(
+            per_event.run_until(SimTime::from_ns(8)),
+            RunOutcome::HorizonReached
+        );
+        let mut batched = Engine::new(Recorder::default());
+        schedule(&mut batched);
+        assert_eq!(
+            batched.run_until_batched(SimTime::from_ns(8)),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(batched.model().seen, per_event.model().seen);
+        assert_eq!(
+            batched.scheduler().events_dispatched(),
+            per_event.scheduler().events_dispatched()
+        );
+        // The 9ns stragglers survive both modes identically.
+        assert_eq!(
+            batched.run_until_batched(SimTime::from_ns(9)),
+            RunOutcome::Drained
+        );
+        assert_eq!(
+            per_event.run_until(SimTime::from_ns(9)),
+            RunOutcome::Drained
+        );
+        assert_eq!(batched.model().seen, per_event.model().seen);
+    }
+
+    #[test]
+    fn same_instant_follow_ups_fire_in_a_second_batch() {
+        /// Records the size of every batch it receives; event 1 schedules
+        /// a same-instant follow-up.
+        #[derive(Default)]
+        struct BatchSizes {
+            sizes: Vec<usize>,
+            seen: Vec<u32>,
+        }
+        impl Model for BatchSizes {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+                if ev == 1 {
+                    sched.immediately(99);
+                }
+                self.seen.push(ev);
+            }
+            fn handle_batch(&mut self, batch: &mut Vec<u32>, sched: &mut Scheduler<u32>) {
+                self.sizes.push(batch.len());
+                for ev in batch.drain(..) {
+                    self.handle(ev, sched);
+                }
+            }
+        }
+        let mut eng = Engine::new(BatchSizes::default());
+        eng.scheduler().at(SimTime::from_ns(5), 1);
+        eng.scheduler().at(SimTime::from_ns(5), 2);
+        assert_eq!(
+            eng.run_until_batched(SimTime::from_ns(5)),
+            RunOutcome::Drained
+        );
+        // The follow-up scheduled *during* the first batch fires at the same
+        // instant, after everything already pending. It is alone at its
+        // dispatch point, so the engine's singleton fast path hands it to
+        // `handle` directly instead of forming a one-event batch.
+        assert_eq!(eng.model().sizes, vec![2]);
+        assert_eq!(eng.model().seen, vec![1, 2, 99]);
+        assert_eq!(eng.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn reset_rewinds_the_calendar_for_reuse() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(10), 1);
+        let t = eng.scheduler().at(SimTime::from_ns(20), 2);
+        eng.scheduler().cancel(t);
+        eng.scheduler().at(SimTime::from_ns(30), 3);
+        eng.run_until(SimTime::from_ns(10));
+        eng.scheduler().reset();
+        assert_eq!(eng.scheduler().now(), SimTime::ZERO);
+        assert_eq!(eng.scheduler().pending(), 0);
+        assert_eq!(eng.scheduler().events_dispatched(), 0);
+        assert_eq!(eng.scheduler().peek(), None);
+        // A re-seeded run behaves like a fresh scheduler, tokens included.
+        let t2 = eng.scheduler().at(SimTime::from_ns(4), 7);
+        eng.scheduler().at(SimTime::from_ns(2), 8);
+        assert!(eng.scheduler().cancel(t2));
+        eng.run();
+        assert_eq!(eng.model().seen.last(), Some(&(2, 8)));
+        assert_eq!(eng.scheduler().events_dispatched(), 1);
     }
 
     #[test]

@@ -81,8 +81,13 @@ const H001_HOT_FNS: [(&str, &[&str]); 5] = [
             "step",
             "run",
             "run_until",
+            "run_until_batched",
             "run_for_events",
             "observe_dispatch",
+            "drain_coincident_into",
+            "drain_followers_into",
+            "reset",
+            "handle_batch",
         ],
     ),
     (
@@ -112,6 +117,18 @@ const H001_HOT_FNS: [(&str, &[&str]); 5] = [
             "on_sa_arrival",
             "round_part",
             "stream_addr",
+            "handle_batch",
+            "kind_index",
+            "reset",
+            "reset_flow_rt",
+            "sourced",
+            "deadline",
+            "push_frame",
+            "mark_dispatched",
+            "mark_dropped",
+            "mark_finished",
+            "add_cpu_ns",
+            "set_span",
         ],
     ),
     (
