@@ -14,10 +14,12 @@
 
 #![deny(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod runner;
 pub mod table;
 
+pub use campaign::{read_journal, run_campaign, CampaignSpec, CellSpec, Heartbeat};
 pub use runner::{run_app, run_workload, Matrix, RunSettings, Unit};
 pub use table::Table;
 

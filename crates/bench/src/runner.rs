@@ -100,8 +100,9 @@ impl Unit {
         }
     }
 
-    /// This unit's flow set (what [`Unit::run`] would simulate).
-    fn flows(self, settings: RunSettings) -> Vec<vip_core::FlowSpec> {
+    /// This unit's flow set (what [`Unit::run`] would simulate). Public
+    /// so the campaign runner can drive warm cells directly.
+    pub fn flows(self, settings: RunSettings) -> Vec<vip_core::FlowSpec> {
         match self {
             Unit::App(a) => a.spec(settings.seed, 0).flows,
             Unit::Wkld(w) => w.spec(settings.seed).flows(),

@@ -1051,6 +1051,12 @@ impl SimCell {
         let events = self.engine.scheduler().events_dispatched();
         self.engine.model_mut().build_report(events)
     }
+
+    /// See [`SystemSim::harvest_flow_times`]. Call after
+    /// [`run`](Self::run) and before the next [`reset`](Self::reset).
+    pub fn harvest_flow_times(&self, hist: &mut telemetry::LogHistogram) {
+        self.engine.model().harvest_flow_times(hist);
+    }
 }
 
 impl SystemSim {
@@ -2392,6 +2398,31 @@ impl SystemSim {
             events,
         }
     }
+
+    /// Streams per-frame flow times into `hist` without allocating.
+    ///
+    /// Campaign cells call this once per completed run, after
+    /// [`SimCell::run`] and before the next [`SimCell::reset`] — reset
+    /// rewinds the frame ledgers, discarding the samples. It walks the
+    /// same ledger rows as `build_report`: frames sourced at or beyond
+    /// the horizon are skipped, and only completed frames carry a flow
+    /// time, so the recorded count equals the report's
+    /// `frames_completed`. Observation-only: it takes `&self` and leaves
+    /// the model untouched, so a harvested run stays digest-identical to
+    /// an unharvested one.
+    pub fn harvest_flow_times(&self, hist: &mut telemetry::LogHistogram) {
+        let end = self.end;
+        for f in &self.flows {
+            for k in 0..f.ledger.len() as u64 {
+                if f.ledger.sourced(k) >= end {
+                    continue; // sourced ahead of schedule, beyond the run
+                }
+                if let Some(ft) = f.ledger.flow_time(k) {
+                    hist.record(ft.as_ns());
+                }
+            }
+        }
+    }
 }
 
 impl SystemSim {
@@ -2560,6 +2591,47 @@ mod tests {
                 "reset cell drifted from fresh under {scheme:?}"
             );
         }
+    }
+
+    /// The harvest hook observes; it must never perturb the simulation,
+    /// and its sample count must agree with the report it rides along.
+    #[test]
+    fn harvest_flow_times_is_digest_neutral_and_counts_completions() {
+        let cfg = quick_cfg(Scheme::Vip);
+        let flows = vec![small_video("a"), small_video("b")];
+        let plain = SystemSim::run(cfg.clone(), flows.clone());
+
+        let mut cell = SimCell::new(cfg.clone(), flows.clone());
+        let report = cell.run();
+        let mut hist = telemetry::LogHistogram::new();
+        cell.harvest_flow_times(&mut hist);
+        assert_eq!(
+            report.digest(),
+            plain.digest(),
+            "harvesting perturbed the run"
+        );
+        assert_eq!(
+            hist.count(),
+            report.frames_completed,
+            "harvest walked a different frame set than the report"
+        );
+        assert!(hist.count() > 0, "nothing completed in the fixture run");
+        // Mean flow time from the exact-sum histogram must agree with the
+        // report's average to within integer truncation.
+        let report_avg = report.avg_flow_time.as_ns();
+        let hist_avg = (hist.sum() / hist.count() as u128) as u64;
+        assert_eq!(hist_avg, report_avg, "flow-time sums disagree");
+
+        // Harvesting twice into the same histogram just doubles it —
+        // the hook is read-only on the model.
+        cell.harvest_flow_times(&mut hist);
+        assert_eq!(hist.count(), 2 * report.frames_completed);
+
+        // After a reset the ledgers are rewound: a fresh harvest is empty.
+        cell.reset(&cfg, &flows);
+        let mut empty = telemetry::LogHistogram::new();
+        cell.harvest_flow_times(&mut empty);
+        assert_eq!(empty.count(), 0, "reset left stale ledger rows behind");
     }
 
     /// A freed slot's key must go stale: once the slot is reused, the old

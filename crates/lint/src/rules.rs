@@ -129,6 +129,7 @@ const H001_HOT_FNS: [(&str, &[&str]); 5] = [
             "mark_finished",
             "add_cpu_ns",
             "set_span",
+            "harvest_flow_times",
         ],
     ),
     (

@@ -1,0 +1,419 @@
+//! Campaign observability: per-cell result records and the population
+//! aggregator.
+//!
+//! A *campaign* runs thousands of independent seeded simulation cells
+//! (device config × workload) and reduces them to population percentiles.
+//! Two pieces live here:
+//!
+//! * [`CellResult`] — the distilled outcome of one cell, serialized as a
+//!   single NDJSON line. The record carries only two kinds of fields:
+//!   **deterministic** ones (counters, the report digest, the per-frame
+//!   flow-time [`LogHistogram`] in sparse form, fixed-point energy) that
+//!   feed the aggregate, and one **diagnostic** wall-clock field
+//!   (`events_per_sec`) that never does. Fields that can exceed 2^53
+//!   (seed, digest, histogram sum) are serialized as strings because JSON
+//!   numbers round-trip through `f64` in the strict parser.
+//! * [`CampaignAggregator`] — a shard-local accumulator whose entire
+//!   state is integer sums and [`LogHistogram`]s, making accumulation
+//!   order-insensitive and [`merge`](CampaignAggregator::merge) exact.
+//!   The aggregate JSON is therefore byte-identical whether the campaign
+//!   ran on 1 worker or N, straight through or resumed from a journal —
+//!   the identity the campaign runner's tests and smoke mode enforce.
+
+use crate::hist::LogHistogram;
+use crate::json::{escape, fmt_f64, Json};
+
+/// The distilled, journal-ready outcome of one campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Index of this cell in the campaign grid (the resume key).
+    pub cell: u64,
+    /// The cell's derived RNG seed.
+    pub seed: u64,
+    /// Workload label (e.g. `"A5"` or `"W3"`).
+    pub workload: String,
+    /// Scheme label (e.g. `"VIP"`).
+    pub scheme: String,
+    /// Device-config key describing every perturbed knob.
+    pub config: String,
+    /// The cell report's determinism digest.
+    pub digest: u64,
+    /// Frames sourced inside the cell's horizon.
+    pub frames_sourced: u64,
+    /// Frames that completed their whole chain.
+    pub frames_completed: u64,
+    /// QoS violations (late + dropped).
+    pub frames_violated: u64,
+    /// Frames dropped at source queues.
+    pub frames_dropped: u64,
+    /// Events the cell dispatched.
+    pub events: u64,
+    /// Total energy in nanojoules, fixed-point: `round(total_j * 1e9)`.
+    /// Integer so population sums are exact and order-insensitive.
+    pub energy_nj: u64,
+    /// Per-frame flow-time distribution, nanoseconds.
+    pub flow_time_ns: LogHistogram,
+    /// Host throughput while the cell ran — wall-clock diagnostic,
+    /// **excluded** from the aggregate (it differs run to run).
+    pub events_per_sec: f64,
+}
+
+impl CellResult {
+    /// Serializes the record as one newline-terminated NDJSON line.
+    pub fn to_ndjson(&self) -> String {
+        format!(
+            "{{\"cell\": {}, \"seed\": \"{:#018x}\", \"workload\": \"{}\", \
+             \"scheme\": \"{}\", \"config\": \"{}\", \"digest\": \"{:#018x}\", \
+             \"frames_sourced\": {}, \"frames_completed\": {}, \
+             \"frames_violated\": {}, \"frames_dropped\": {}, \"events\": {}, \
+             \"energy_nj\": {}, \"flow_time_ns\": {}, \"events_per_sec\": {}}}\n",
+            self.cell,
+            self.seed,
+            escape(&self.workload),
+            escape(&self.scheme),
+            escape(&self.config),
+            self.digest,
+            self.frames_sourced,
+            self.frames_completed,
+            self.frames_violated,
+            self.frames_dropped,
+            self.events,
+            self.energy_nj,
+            self.flow_time_ns.to_json(),
+            fmt_f64(self.events_per_sec)
+        )
+    }
+
+    /// Parses one NDJSON line back into a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field
+    /// (including a histogram whose bucket counts do not re-sum).
+    pub fn parse_line(line: &str) -> Result<CellResult, String> {
+        let v = crate::json::parse(line.trim_end()).map_err(|e| e.to_string())?;
+        Self::from_json(&v)
+    }
+
+    /// Rebuilds a record from its parsed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(v: &Json) -> Result<CellResult, String> {
+        let field = |name: &str| -> Result<&Json, String> {
+            v.get(name)
+                .ok_or_else(|| format!("cell record missing '{name}'"))
+        };
+        let num = |name: &str| -> Result<u64, String> {
+            field(name)?
+                .as_f64()
+                .filter(|x| x.is_finite() && *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("cell field '{name}' is not a non-negative integer"))
+        };
+        let text = |name: &str| -> Result<String, String> {
+            Ok(field(name)?
+                .as_str()
+                .ok_or_else(|| format!("cell field '{name}' is not a string"))?
+                .to_string())
+        };
+        let hex = |name: &str| -> Result<u64, String> {
+            let s = text(name)?;
+            let digits = s
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("cell field '{name}' is not an 0x-hex string"))?;
+            u64::from_str_radix(digits, 16)
+                .map_err(|e| format!("cell field '{name}' is not hex: {e}"))
+        };
+        Ok(CellResult {
+            cell: num("cell")?,
+            seed: hex("seed")?,
+            workload: text("workload")?,
+            scheme: text("scheme")?,
+            config: text("config")?,
+            digest: hex("digest")?,
+            frames_sourced: num("frames_sourced")?,
+            frames_completed: num("frames_completed")?,
+            frames_violated: num("frames_violated")?,
+            frames_dropped: num("frames_dropped")?,
+            events: num("events")?,
+            energy_nj: num("energy_nj")?,
+            flow_time_ns: LogHistogram::from_json(field("flow_time_ns")?)?,
+            events_per_sec: field("events_per_sec")?
+                .as_f64()
+                .ok_or("cell field 'events_per_sec' is not a number")?,
+        })
+    }
+}
+
+/// Merges cell results into population percentiles.
+///
+/// Every piece of state is an integer sum or a [`LogHistogram`], so
+/// ingestion order never matters and [`merge`](Self::merge) of
+/// shard-local aggregators is exactly equal to single-stream ingestion
+/// (property-tested). Wall-clock diagnostics are deliberately absent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignAggregator {
+    /// Cells ingested.
+    cells: u64,
+    /// Population frame counters.
+    frames_sourced: u64,
+    frames_completed: u64,
+    frames_violated: u64,
+    frames_dropped: u64,
+    /// Simulation events across all cells.
+    events: u64,
+    /// Exact population energy, nanojoules.
+    energy_nj: u128,
+    /// Per-frame flow times across the whole population, ns.
+    flow_time_ns: LogHistogram,
+    /// Per-cell QoS violation counts (one sample per cell).
+    cell_violations: LogHistogram,
+    /// Per-cell violation rates in parts-per-million (one sample per
+    /// cell; integer `violations * 1e6 / sourced`, exact and
+    /// deterministic).
+    cell_violation_ppm: LogHistogram,
+    /// Per-cell energy per sourced frame, nanojoules (one sample per
+    /// cell).
+    cell_energy_per_frame_nj: LogHistogram,
+}
+
+impl CampaignAggregator {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cells ingested so far.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Simulation events across all ingested cells.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Absorbs one cell's deterministic fields (`events_per_sec` is
+    /// ignored by design).
+    pub fn add_cell(&mut self, r: &CellResult) {
+        self.cells += 1;
+        self.frames_sourced += r.frames_sourced;
+        self.frames_completed += r.frames_completed;
+        self.frames_violated += r.frames_violated;
+        self.frames_dropped += r.frames_dropped;
+        self.events += r.events;
+        self.energy_nj += r.energy_nj as u128;
+        self.flow_time_ns.merge_from(&r.flow_time_ns);
+        self.cell_violations.record(r.frames_violated);
+        // A zero-sourced cell (horizon shorter than one frame period)
+        // records zero rates rather than poisoning the distributions.
+        self.cell_violation_ppm.record(
+            (r.frames_violated * 1_000_000)
+                .checked_div(r.frames_sourced)
+                .unwrap_or(0),
+        );
+        self.cell_energy_per_frame_nj
+            .record(r.energy_nj.checked_div(r.frames_sourced).unwrap_or(0));
+    }
+
+    /// Absorbs another (shard-local) aggregator exactly.
+    pub fn merge(&mut self, other: &CampaignAggregator) {
+        self.cells += other.cells;
+        self.frames_sourced += other.frames_sourced;
+        self.frames_completed += other.frames_completed;
+        self.frames_violated += other.frames_violated;
+        self.frames_dropped += other.frames_dropped;
+        self.events += other.events;
+        self.energy_nj += other.energy_nj;
+        self.flow_time_ns.merge_from(&other.flow_time_ns);
+        self.cell_violations.merge_from(&other.cell_violations);
+        self.cell_violation_ppm
+            .merge_from(&other.cell_violation_ppm);
+        self.cell_energy_per_frame_nj
+            .merge_from(&other.cell_energy_per_frame_nj);
+    }
+
+    /// Serializes the population aggregate. Every emitted value derives
+    /// from integer state, so the document is byte-identical for any
+    /// sharding or ingestion order of the same cell set.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cells\": {},\n", self.cells));
+        out.push_str(&format!(
+            "  \"frames\": {{\"sourced\": {}, \"completed\": {}, \"violated\": {}, \"dropped\": {}}},\n",
+            self.frames_sourced, self.frames_completed, self.frames_violated, self.frames_dropped
+        ));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!(
+            "  \"energy_total_j\": {},\n",
+            fmt_f64(self.energy_nj as f64 * 1e-9)
+        ));
+        out.push_str(&format!(
+            "  \"violation_rate\": {},\n",
+            fmt_f64(if self.frames_sourced > 0 {
+                self.frames_violated as f64 / self.frames_sourced as f64
+            } else {
+                0.0
+            })
+        ));
+        out.push_str("  \"population\": {\n");
+        let sections = [
+            ("flow_time_ns", &self.flow_time_ns),
+            ("cell_violations", &self.cell_violations),
+            ("cell_violation_ppm", &self.cell_violation_ppm),
+            ("cell_energy_per_frame_nj", &self.cell_energy_per_frame_nj),
+        ];
+        for (i, (label, hist)) in sections.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&hist.summary().to_json_inline(label));
+            out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::check::forall;
+    use desim::SplitMix64;
+
+    fn synth_cell(rng: &mut SplitMix64, cell: u64) -> CellResult {
+        let mut hist = LogHistogram::new();
+        let completed = rng.below(40);
+        for _ in 0..completed {
+            hist.record(rng.range(10_000, 50_000_000));
+        }
+        let sourced = completed + rng.below(10);
+        CellResult {
+            cell,
+            seed: rng.next_u64(),
+            workload: format!("A{}", 1 + rng.below(7)),
+            scheme: "VIP".into(),
+            config: "cpus=4,ch=2".into(),
+            digest: rng.next_u64(),
+            frames_sourced: sourced,
+            frames_completed: completed,
+            frames_violated: rng.below(sourced + 1),
+            frames_dropped: 0,
+            events: rng.below(1_000_000),
+            energy_nj: rng.below(10_000_000_000),
+            flow_time_ns: hist,
+            events_per_sec: rng.next_f64() * 1e7,
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trips_exactly() {
+        forall("cell record NDJSON round-trip", 32, |rng| {
+            let cell = rng.below(1000);
+            let r = synth_cell(rng, cell);
+            let line = r.to_ndjson();
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "one line per cell");
+            let back = CellResult::parse_line(&line).expect("parses");
+            assert_eq!(back, r);
+        });
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        let mut rng = SplitMix64::new(7);
+        let r = synth_cell(&mut rng, 0);
+        let line = r.to_ndjson();
+        assert!(CellResult::parse_line("{\"cell\": 1}").is_err());
+        assert!(
+            CellResult::parse_line(&line[..line.len() / 2]).is_err(),
+            "truncated line"
+        );
+        assert!(CellResult::parse_line(&line.replace("\"seed\": \"0x", "\"seed\": \"zz")).is_err());
+    }
+
+    #[test]
+    fn aggregate_is_order_insensitive_and_shardable() {
+        forall("aggregate == any sharding/order", 24, |rng| {
+            let n = rng.range(1, 40);
+            let cells: Vec<CellResult> = (0..n).map(|i| synth_cell(rng, i)).collect();
+
+            // Single-stream, in order.
+            let mut single = CampaignAggregator::new();
+            for c in &cells {
+                single.add_cell(c);
+            }
+
+            // Reversed order.
+            let mut reversed = CampaignAggregator::new();
+            for c in cells.iter().rev() {
+                reversed.add_cell(c);
+            }
+            assert_eq!(reversed, single);
+
+            // Sharded round-robin, merged.
+            let shards = rng.range(1, 6) as usize;
+            let mut parts = vec![CampaignAggregator::new(); shards];
+            for (i, c) in cells.iter().enumerate() {
+                parts[i % shards].add_cell(c);
+            }
+            let mut merged = CampaignAggregator::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged, single);
+            assert_eq!(merged.to_json(), single.to_json(), "byte-identical JSON");
+        });
+    }
+
+    #[test]
+    fn aggregate_json_parses_and_excludes_wall_clock() {
+        let mut rng = SplitMix64::new(11);
+        let mut agg = CampaignAggregator::new();
+        for i in 0..5 {
+            let mut c = synth_cell(&mut rng, i);
+            // Wall-clock throughput must not leak into the aggregate.
+            c.events_per_sec = i as f64 * 1234.5;
+            agg.add_cell(&c);
+        }
+        let doc = agg.to_json();
+        assert!(!doc.contains("events_per_sec"));
+        let v = crate::json::parse(&doc).expect("aggregate JSON parses");
+        assert_eq!(v.get("cells").unwrap().as_f64(), Some(5.0));
+        let pop = v.get("population").unwrap();
+        for key in [
+            "flow_time_ns",
+            "cell_violations",
+            "cell_violation_ppm",
+            "cell_energy_per_frame_nj",
+        ] {
+            let s = pop.get(key).unwrap();
+            assert!(s.get("p999").unwrap().as_f64().is_some(), "{key}");
+        }
+    }
+
+    #[test]
+    fn zero_sourced_cell_is_safe() {
+        let empty = CellResult {
+            cell: 0,
+            seed: 1,
+            workload: "A1".into(),
+            scheme: "Baseline".into(),
+            config: "k".into(),
+            digest: 2,
+            frames_sourced: 0,
+            frames_completed: 0,
+            frames_violated: 0,
+            frames_dropped: 0,
+            events: 0,
+            energy_nj: 0,
+            flow_time_ns: LogHistogram::new(),
+            events_per_sec: 0.0,
+        };
+        let mut agg = CampaignAggregator::new();
+        agg.add_cell(&empty);
+        let doc = agg.to_json();
+        assert!(crate::json::parse(&doc).is_ok());
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+    }
+}

@@ -329,16 +329,19 @@ pub fn escape(s: &str) -> String {
 
 /// Formats an `f64` the way the exporters want it: integers without a
 /// fraction, everything else with enough digits to round-trip.
+///
+/// Non-finite values (NaN, ±Inf) emit `null`: JSON has no spelling for
+/// them, and a raw `NaN` in the output would make the whole document
+/// unparseable. `null` keeps the document valid and is unambiguous on
+/// the reader side ([`Json::Null`]), unlike the old `0`, which was
+/// indistinguishable from a real measurement of zero.
 pub fn fmt_f64(v: f64) -> String {
     if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else if v.is_finite() {
-        let s = format!("{v}");
-        s
+        format!("{v}")
     } else {
-        // JSON has no Inf/NaN; clamp to null-ish zero rather than emit an
-        // invalid document.
-        "0".to_string()
+        "null".to_string()
     }
 }
 
@@ -394,6 +397,18 @@ mod tests {
     fn fmt_f64_shapes() {
         assert_eq!(fmt_f64(3.0), "3");
         assert_eq!(fmt_f64(0.5), "0.5");
-        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(-2.25), "-2.25");
+    }
+
+    #[test]
+    fn fmt_f64_non_finite_emits_valid_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(fmt_f64(v), "null");
+            // The emitted token must stay a valid JSON document on its own
+            // and inside an object value position.
+            assert_eq!(parse(&fmt_f64(v)).unwrap(), Json::Null);
+            let doc = format!("{{\"x\": {}}}", fmt_f64(v));
+            assert_eq!(parse(&doc).unwrap().get("x"), Some(&Json::Null));
+        }
     }
 }

@@ -20,6 +20,12 @@
 //!    p50/p95/p99), and time-weighted gauges, frozen into an ordered
 //!    [`MetricsSnapshot`] that renders as text or JSON. This is the one
 //!    funnel through which per-crate stats reach reports and files.
+//! 4. **Campaign observability** ([`hist`], [`campaign`]): a
+//!    [`LogHistogram`] with a fixed log-bucket layout and an *exact*
+//!    merge (the reservoir cannot be merged across shards), the
+//!    [`CellResult`] NDJSON record one campaign cell emits, and the
+//!    [`CampaignAggregator`] that folds any sharding of a cell
+//!    population into byte-identical percentile JSON.
 //!
 //! There is deliberately no dependency on the simulator crates (only on
 //! `desim` for time and the seeded RNG), so any layer — DRAM model, SoC
@@ -28,13 +34,17 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod perfetto;
 pub mod registry;
 pub mod sink;
 
+pub use campaign::{CampaignAggregator, CellResult};
 pub use event::{EventKind, NameId, TraceEvent, TrackGroup, TrackId};
+pub use hist::{LogHistSummary, LogHistogram};
 pub use perfetto::{export_chrome_json, validate_chrome_trace, TraceSummary};
 pub use registry::{GaugeSummary, HistSummary, MetricsRegistry, MetricsSnapshot};
 pub use sink::{NullSink, RingRecorder, TraceSink};

@@ -139,6 +139,14 @@ impl Gauge {
         self.peak = self.peak.max(level);
     }
 
+    /// Time-weighted mean over `[start, end]`.
+    ///
+    /// A zero-duration window (`end == start`, including a gauge created
+    /// and snapshotted at the same instant, or an `end` before the window
+    /// via the saturating subtraction) would divide 0/0 into NaN — which
+    /// then poisons every downstream consumer of [`GaugeSummary::mean`].
+    /// The guard defines the empty-window mean as the current level: the
+    /// only value the gauge has ever been observed at.
     fn mean(&self, end: SimTime) -> f64 {
         let tail = end.as_ns().saturating_sub(self.last_t.as_ns());
         let span = end.as_ns().saturating_sub(self.start.as_ns());
@@ -425,6 +433,47 @@ mod tests {
         assert!((g.mean - (0.0 * 100.0 + 10.0 * 100.0 + 2.0 * 200.0) / 400.0).abs() < 1e-9);
         assert_eq!(g.peak, 10.0);
         assert_eq!(g.last, 2.0);
+    }
+
+    #[test]
+    fn gauge_zero_duration_window_has_no_nan() {
+        // Created and snapshotted at the same instant: span == 0 would be
+        // 0/0 without the guard; the defined answer is the current level.
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("g", t(5), 3.0);
+        let snap = m.snapshot(t(5));
+        let (_, g) = &snap.gauges[0];
+        assert_eq!(g.mean, 3.0);
+        assert!(!g.mean.is_nan());
+        assert_eq!(g.peak, 3.0);
+        assert_eq!(g.last, 3.0);
+
+        // Several sets at the same instant: still a zero-duration window;
+        // the mean is the latest level, the peak remembers the highest.
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("g", t(9), 10.0);
+        m.gauge_set("g", t(9), 2.0);
+        let snap = m.snapshot(t(9));
+        let (_, g) = &snap.gauges[0];
+        assert_eq!(g.mean, 2.0);
+        assert!(!g.mean.is_nan());
+        assert_eq!(g.peak, 10.0);
+
+        // An end before the window start saturates to span == 0 — same
+        // guard, same NaN-free answer.
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("g", t(100), 7.0);
+        let snap = m.snapshot(t(50));
+        let (_, g) = &snap.gauges[0];
+        assert_eq!(g.mean, 7.0);
+        assert!(!g.mean.is_nan());
+
+        // And the serialized snapshot of a zero-window gauge stays valid
+        // strict JSON.
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("g", t(0), 1.5);
+        let doc = m.snapshot(t(0)).to_json();
+        assert!(json::parse(&doc).is_ok(), "{doc}");
     }
 
     #[test]
