@@ -196,9 +196,32 @@ fn smoke() -> i32 {
         return 1;
     }
 
+    // Checkpointed pool: in-flight snapshot slicing must leave every
+    // record — and hence the aggregate — byte-identical, and a drained
+    // run must leave no checkpoints behind.
+    let store = vip_bench::CheckpointStore::new();
+    let interrupt = std::sync::atomic::AtomicBool::new(false);
+    let policy = vip_bench::CheckpointPolicy {
+        store: &store,
+        every: desim::SimDelta::from_ms(5),
+        interrupt: &interrupt,
+    };
+    let mut agg4 = CampaignAggregator::new();
+    vip_bench::run_campaign_checkpointed(&spec, 2, &no_skip, Some(&policy), |_, r| {
+        agg4.add_cell(&r);
+    });
+    if agg4.to_json() != agg1.to_json() {
+        eprintln!("smoke: checkpointed aggregate differs from straight-through");
+        return 1;
+    }
+    if !store.is_empty() {
+        eprintln!("smoke: completed campaign left in-flight checkpoints");
+        return 1;
+    }
+
     println!(
         "campaign --smoke: OK ({} cells, {} events, aggregate byte-identical across \
-         workers 1/2 and resume)",
+         workers 1/2, resume, and checkpoint slicing)",
         agg1.cells(),
         agg1.events()
     );

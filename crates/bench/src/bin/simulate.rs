@@ -7,6 +7,8 @@
 //! simulate --file my.flows --trace trace.json   # needs --features trace
 //! simulate --file my.flows --audit              # needs --features audit
 //! echo 'flow v fps=30 src=62500\nstage VD out=3110400\nstage DC out=0' | simulate --scheme vip
+//! simulate --serve < requests.ndjson            # what-if service (see vip_bench::serve)
+//! simulate --serve --smoke                      # CI self-check
 //! ```
 //!
 //! `--metrics` writes the unified metrics snapshot (counters, rates,
@@ -53,9 +55,10 @@ fn run_with_audit(
     cfg: vip_core::SystemConfig,
     flows: Vec<vip_core::FlowSpec>,
 ) -> (vip_core::SystemReport, Vec<vip_core::FlowTrace>) {
-    let (report, summary) = SystemSim::run_audited(cfg, flows);
-    eprint!("{summary}");
-    (report, Vec::new())
+    let mut cell = vip_core::SimCell::new(cfg, flows);
+    let out = cell.runner().audited().run();
+    eprint!("{}", out.audit.expect("audited run"));
+    (out.report, Vec::new())
 }
 
 /// Placeholder so the call site compiles; `--audit` bails before reaching
@@ -80,10 +83,47 @@ fn main() {
         eprintln!(
             "usage: simulate [--file <path>] [--scheme baseline|fb|chained|vip] \
              [--device nexus7|memopad8|s4|s5|table3] [--ms N] [--timeline] \
-             [--metrics <out.json>] [--trace <out.json>] [--trace-capacity N] [--audit]"
+             [--metrics <out.json>] [--trace <out.json>] [--trace-capacity N] [--audit]\n\
+             \x20      simulate --serve [--workers N] [--cache N] [--queue N]  \
+             # what-if service on stdin/stdout\n\
+             \x20      simulate --serve --smoke                                \
+             # CI self-check, exit 0/1"
         );
         std::process::exit(2);
     };
+
+    if argv.iter().any(|a| a == "--serve") {
+        if argv.iter().any(|a| a == "--smoke") {
+            std::process::exit(vip_bench::serve::smoke());
+        }
+        let defaults = vip_bench::ServeOptions::default();
+        let opts = vip_bench::ServeOptions {
+            workers: get("--workers")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(defaults.workers),
+            cache: get("--cache")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(defaults.cache),
+            queue: get("--queue")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(defaults.queue),
+        };
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout();
+        match vip_bench::Server::new(opts).run(stdin.lock(), &mut stdout) {
+            Ok(stats) => {
+                eprintln!(
+                    "serve: {} ok / {} err, {} cache hits / {} misses",
+                    stats.ok, stats.errors, stats.hits, stats.misses
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("serve: I/O failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let text = match get("--file") {
         Some(path) => std::fs::read_to_string(&path)
@@ -138,7 +178,9 @@ fn main() {
         let capacity: usize = get("--trace-capacity")
             .and_then(|v| v.parse().ok())
             .unwrap_or(1 << 20);
-        let (report, session) = SystemSim::run_traced(cfg, flows, capacity);
+        let mut cell = vip_core::SimCell::new(cfg, flows);
+        let out = cell.runner().traced(capacity).run();
+        let (report, session) = (out.report, out.trace.expect("traced run"));
         std::fs::write(path, session.export_chrome_json())
             .unwrap_or_else(|e| bail(&format!("cannot write {path}: {e}")));
         eprintln!(

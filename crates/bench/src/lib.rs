@@ -17,10 +17,15 @@
 pub mod campaign;
 pub mod experiments;
 pub mod runner;
+pub mod serve;
 pub mod table;
 
-pub use campaign::{read_journal, run_campaign, CampaignSpec, CellSpec, Heartbeat};
+pub use campaign::{
+    read_journal, run_campaign, run_campaign_checkpointed, CampaignSpec, CellCheckpoint, CellSpec,
+    CheckpointPolicy, CheckpointStore, Heartbeat,
+};
 pub use runner::{run_app, run_workload, Matrix, RunSettings, Unit};
+pub use serve::{ServeOptions, Server};
 pub use table::Table;
 
 /// Simulated horizon (ms) of the golden determinism table: long enough

@@ -32,7 +32,10 @@ impl RunSettings {
         }
     }
 
-    fn config(&self, scheme: Scheme) -> SystemConfig {
+    /// The Table 3 platform under `scheme` at these settings — the exact
+    /// config every matrix/golden cell runs (public so the what-if
+    /// server and the snapshot tests resolve identically).
+    pub fn config(&self, scheme: Scheme) -> SystemConfig {
         let mut cfg = SystemConfig::table3(scheme);
         cfg.duration = self.duration;
         cfg.seed = self.seed;
@@ -120,13 +123,27 @@ impl Unit {
         settings: RunSettings,
         cell: &mut Option<SimCell>,
     ) -> SystemReport {
+        self.prepare_warm(cfg, settings, cell).run()
+    }
+
+    /// Shapes a reusable cell for this unit without running it: an
+    /// existing warm cell is reset in place, an empty slot is populated
+    /// with a fresh one. The caller drives the run — all at once
+    /// ([`SimCell::run`]) or in resumable steps ([`SimCell::run_until`],
+    /// as the campaign checkpointer does).
+    pub fn prepare_warm<'a>(
+        self,
+        cfg: &SystemConfig,
+        settings: RunSettings,
+        cell: &'a mut Option<SimCell>,
+    ) -> &'a mut SimCell {
         let flows = self.flows(settings);
         match cell {
             Some(cell) => {
                 cell.reset(cfg, &flows);
-                cell.run()
+                cell
             }
-            None => cell.insert(SimCell::new(cfg.clone(), flows)).run(),
+            None => cell.insert(SimCell::new(cfg.clone(), flows)),
         }
     }
 
@@ -139,16 +156,9 @@ impl Unit {
         scheme: Scheme,
         settings: RunSettings,
     ) -> (SystemReport, vip_core::EventCounts) {
-        match self {
-            Unit::App(a) => {
-                let spec = a.spec(settings.seed, 0);
-                SystemSim::run_with_event_counts(settings.config(scheme), spec.flows)
-            }
-            Unit::Wkld(w) => {
-                let spec = w.spec(settings.seed);
-                SystemSim::run_with_event_counts(settings.config(scheme), spec.flows())
-            }
-        }
+        let mut cell = SimCell::new(settings.config(scheme), self.flows(settings));
+        let out = cell.runner().counted().run();
+        (out.report, out.counts.expect("counted run"))
     }
 
     /// Runs this unit under a scheme with the runtime sanitizer armed.
@@ -162,16 +172,9 @@ impl Unit {
         scheme: Scheme,
         settings: RunSettings,
     ) -> (SystemReport, vip_core::AuditSummary) {
-        match self {
-            Unit::App(a) => {
-                let spec = a.spec(settings.seed, 0);
-                SystemSim::run_audited(settings.config(scheme), spec.flows)
-            }
-            Unit::Wkld(w) => {
-                let spec = w.spec(settings.seed);
-                SystemSim::run_audited(settings.config(scheme), spec.flows())
-            }
-        }
+        let mut cell = SimCell::new(settings.config(scheme), self.flows(settings));
+        let out = cell.runner().audited().run();
+        (out.report, out.audit.expect("audited run"))
     }
 }
 

@@ -259,6 +259,73 @@ fn audited_full_matrix_matches_pinned_golden_digests() {
     );
 }
 
+/// Snapshot/restore round-trips every cell of the golden matrix:
+/// stepping to a mid-run split, snapshotting, restoring into a warm cell
+/// that last ran a *different* shape, and continuing reproduces the
+/// pinned digest bit-for-bit — and taking the snapshot never perturbs
+/// the source run. One worker thread per unit, one warm branch cell per
+/// worker (deliberately dirtied between schemes by the restore itself).
+#[test]
+fn snapshot_restore_round_trips_every_golden_cell() {
+    use vip_core::SimCell;
+
+    let units = Unit::all();
+    let split = desim::SimTime::from_ms(GOLDEN_HORIZON_MS / 2);
+    let mut bad = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = units
+            .iter()
+            .enumerate()
+            .map(|(u, &unit)| {
+                scope.spawn(move || {
+                    let mut row = Vec::new();
+                    let mut branch: Option<SimCell> = None;
+                    for (s, &scheme) in Scheme::ALL.iter().enumerate() {
+                        let cfg = settings().config(scheme);
+                        let flows = unit.flows(settings());
+                        let mut cell = SimCell::new(cfg.clone(), flows.clone());
+                        cell.run_until(split);
+                        let snap = cell.snapshot();
+                        let source = cell.finish().digest();
+                        let branch = match &mut branch {
+                            Some(b) => b,
+                            slot => slot.insert(SimCell::new(cfg, flows)),
+                        };
+                        branch.restore(&snap);
+                        let branched = branch.finish().digest();
+                        row.push((u, s, source, branched));
+                    }
+                    row
+                })
+            })
+            .collect();
+        for h in handles {
+            for (u, s, source, branched) in h.join().expect("snapshot cell panicked") {
+                let want = GOLDEN_DIGESTS[u].1[s];
+                let label = GOLDEN_DIGESTS[u].0;
+                let scheme = Scheme::ALL[s].label();
+                if source != want {
+                    bad.push(format!(
+                        "{label}/{scheme}: snapshot perturbed the source run \
+                         (got {source:#018x}, pinned {want:#018x})"
+                    ));
+                }
+                if branched != want {
+                    bad.push(format!(
+                        "{label}/{scheme}: restored branch drifted \
+                         (got {branched:#018x}, pinned {want:#018x})"
+                    ));
+                }
+            }
+        }
+    });
+    assert!(
+        bad.is_empty(),
+        "snapshot/restore broke golden determinism:\n{}",
+        bad.join("\n")
+    );
+}
+
 /// The matrix digest is independent of the worker count: 1 (strictly
 /// sequential), 2, and 8 workers all reproduce the same cells, which also
 /// makes each pair a repeated-run determinism check under different

@@ -49,6 +49,31 @@
 //! assert!(report.frames_completed > 0);
 //! assert_eq!(report.frames_dropped_at_source, 0);
 //! ```
+//!
+//! ## The session API
+//!
+//! [`SystemSim::run`] is the one-shot convenience. The full lifecycle
+//! lives on [`SimCell`], which owns a warm engine + model pair and steps
+//! through explicit phases:
+//!
+//! * **Configure a run** with [`SimCell::runner`], a builder
+//!   ([`RunOptions`]) that collapses the historical `run_*` entry-point
+//!   family: `.audited()` (audit feature), `.traced(capacity)` /
+//!   `.counted()` (trace feature), `.per_event_dispatch()` and
+//!   `.eager_mem_poll()` (reference schedules for the property suite).
+//!   [`RunOptions::run`] returns a [`RunOutput`] carrying the report plus
+//!   any requested observer artifacts.
+//! * **Step resumably** with [`SimCell::run_until`], then either keep
+//!   stepping or [`SimCell::finish`] to build the report. Splitting a run
+//!   at any instant is bit-identical to running straight through.
+//! * **Capture and branch** with [`SimCell::snapshot`] /
+//!   [`SimCell::restore`]: a [`SimSnapshot`] is owned, cloneable and
+//!   `Send`, so a warmed-up state can be cached once and branched many
+//!   times (the `simulate --serve` what-if service and the campaign
+//!   checkpoint store are built on this).
+//! * **Post-run accessors** ([`SimCell::harvest_flow_times`],
+//!   [`SimCell::flow_traces`]) return `Err(`[`RunIncomplete`]`)` until the
+//!   report is built, so a partial run can't silently skew statistics.
 
 #![deny(unsafe_code)]
 
@@ -72,8 +97,7 @@ pub use header::HeaderPacket;
 pub use metrics::{FlowReport, FrameRecord, SystemReport};
 #[cfg(feature = "trace")]
 pub use sim::EventCounts;
-pub use sim::SimCell;
-pub use sim::SystemSim;
+pub use sim::{RunIncomplete, RunOptions, RunOutput, SimCell, SimSnapshot, SystemSim};
 #[cfg(feature = "trace")]
 pub use telem::TraceSession;
 pub use telem::Tracer;

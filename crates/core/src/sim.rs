@@ -28,6 +28,8 @@
 use std::collections::VecDeque;
 #[cfg(feature = "trace")]
 use std::rc::Rc;
+#[cfg(feature = "trace")]
+use std::sync::Arc;
 
 use desim::{Engine, Model, Scheduler, SimDelta, SimTime};
 use dram::{Completion, MemOp, MemRequest, MemorySystem};
@@ -87,7 +89,7 @@ enum CpuPayload {
 }
 
 /// Dispatch counts per event kind, from a counted run
-/// ([`SystemSim::run_with_event_counts`]). Shows where the event budget of
+/// ([`RunOptions::counted`]). Shows where the event budget of
 /// a simulation goes; the sum equals the engine's dispatch counter.
 #[cfg(feature = "trace")]
 #[derive(Debug, Clone, Copy, Default)]
@@ -175,7 +177,7 @@ struct FetchTag {
 /// key (slot since reused) misses instead of aliasing ([`FetchSlab::take`]
 /// returns `None`). [`WRITE_TAG`] (`u64::MAX`) is unreachable: it would
 /// need four billion live slots.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct FetchSlab {
     tags: Vec<FetchTag>,
     gens: Vec<u32>,
@@ -233,7 +235,7 @@ impl FetchSlab {
 /// ref along), one per stage enqueued at an IP (released when the stage
 /// retires the item, or handed to the Irq payload it raises), and one per
 /// scheduled Rollback event.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Dispatch {
     flow: usize,
     frames: Vec<u64>,
@@ -355,7 +357,7 @@ impl LaneXfer {
 /// (queue heads on activation, [`LaneSched`] in the scheduler scan,
 /// buffers on arrival) instead of dragging whole-lane structs through the
 /// cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct IpRt {
     cfg: IpConfig,
     stats: IpStats,
@@ -382,7 +384,7 @@ struct IpRt {
 /// stage spans packed into one arena at `frame·stages + stage`. Callers
 /// that need a full [`FrameRecord`] view (flow traces) get one from
 /// [`materialize`](FrameLedger::materialize).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FrameLedger {
     /// Interned geometry: every frame's nominal times derive from these.
     phase: SimDelta,
@@ -525,7 +527,7 @@ impl FrameLedger {
 }
 
 /// Run-time state of one flow.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlowRt {
     spec: FlowSpec,
     core: usize,
@@ -586,6 +588,110 @@ pub struct SystemSim {
     /// Sanitizer facade: a zero-sized no-op unless the `audit` feature is
     /// on *and* the run was started via `run_audited`.
     audit: Auditor,
+}
+
+/// Manual so [`Clone::clone_from`] can reuse the destination's
+/// allocations — [`SimCell::restore`] rewinds a warm cell into a
+/// [`SimSnapshot`] without reallocating its vectors, mirroring the
+/// in-place [`SystemSim::reset`] plumbing. The exhaustive destructure
+/// makes adding a field without cloning it a compile error.
+// clone_on_copy: the tracer/auditor facades are Copy only when their
+// features are off; the `.clone()` calls are real under trace/audit.
+#[allow(clippy::clone_on_copy)]
+impl Clone for SystemSim {
+    fn clone(&self) -> Self {
+        SystemSim {
+            cfg: self.cfg.clone(),
+            flows: self.flows.clone(),
+            ips: self.ips.clone(),
+            cpus: self.cpus.clone(),
+            mem: self.mem.clone(),
+            agent: self.agent.clone(),
+            dispatches: self.dispatches.clone(),
+            free_dispatches: self.free_dispatches.clone(),
+            dispatch_seq: self.dispatch_seq,
+            fetch_tags: self.fetch_tags.clone(),
+            mem_tick_at: self.mem_tick_at,
+            mem_ticks_fired: self.mem_ticks_fired,
+            mem_ticks_stale: self.mem_ticks_stale,
+            eager_mem_poll: self.eager_mem_poll,
+            kick_queue: self.kick_queue.clone(),
+            kick_queued: self.kick_queued.clone(),
+            scratch_eligible: self.scratch_eligible.clone(),
+            scratch_chain: self.scratch_chain.clone(),
+            scratch_completions: self.scratch_completions.clone(),
+            scratch_frames: self.scratch_frames.clone(),
+            interrupts: self.interrupts,
+            rollbacks: self.rollbacks,
+            buffer_bytes_streamed: self.buffer_bytes_streamed,
+            bg_active_ns: self.bg_active_ns,
+            bg_instructions: self.bg_instructions,
+            end: self.end,
+            tracer: self.tracer.clone(),
+            audit: self.audit.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        let SystemSim {
+            cfg,
+            flows,
+            ips,
+            cpus,
+            mem,
+            agent,
+            dispatches,
+            free_dispatches,
+            dispatch_seq,
+            fetch_tags,
+            mem_tick_at,
+            mem_ticks_fired,
+            mem_ticks_stale,
+            eager_mem_poll,
+            kick_queue,
+            kick_queued,
+            scratch_eligible,
+            scratch_chain,
+            scratch_completions,
+            scratch_frames,
+            interrupts,
+            rollbacks,
+            buffer_bytes_streamed,
+            bg_active_ns,
+            bg_instructions,
+            end,
+            tracer,
+            audit,
+        } = src;
+        self.cfg.clone_from(cfg);
+        self.flows.clone_from(flows);
+        self.ips.clone_from(ips);
+        self.cpus.clone_from(cpus);
+        self.mem.clone_from(mem);
+        self.agent.clone_from(agent);
+        self.dispatches.clone_from(dispatches);
+        self.free_dispatches.clone_from(free_dispatches);
+        self.dispatch_seq = *dispatch_seq;
+        self.fetch_tags.clone_from(fetch_tags);
+        self.mem_tick_at = *mem_tick_at;
+        self.mem_ticks_fired = *mem_ticks_fired;
+        self.mem_ticks_stale = *mem_ticks_stale;
+        self.eager_mem_poll = *eager_mem_poll;
+        self.kick_queue.clone_from(kick_queue);
+        self.kick_queued.clone_from(kick_queued);
+        self.scratch_eligible.clone_from(scratch_eligible);
+        self.scratch_chain.clone_from(scratch_chain);
+        self.scratch_completions.clone_from(scratch_completions);
+        self.scratch_frames.clone_from(scratch_frames);
+        self.interrupts = *interrupts;
+        self.rollbacks = *rollbacks;
+        self.buffer_bytes_streamed = *buffer_bytes_streamed;
+        self.bg_active_ns = *bg_active_ns;
+        self.bg_instructions = *bg_instructions;
+        self.end = *end;
+        self.tracer = tracer.clone();
+        self.audit = audit.clone();
+    }
 }
 
 impl SystemSim {
@@ -886,38 +992,21 @@ impl SystemSim {
         cfg: SystemConfig,
         flows: Vec<FlowSpec>,
     ) -> (SystemReport, Vec<crate::trace::FlowTrace>) {
-        let sim = SystemSim::new(cfg, flows);
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        let report = sim.build_report(events);
-        let traces = sim
-            .flows
-            .iter()
-            .map(|f| crate::trace::FlowTrace {
-                name: f.spec.name.clone(),
-                stage_names: f.spec.stages.iter().map(|s| s.ip.abbrev()).collect(),
-                records: (0..f.ledger.len() as u64)
-                    .map(|k| f.ledger.materialize(k))
-                    .collect(),
-            })
-            .collect();
+        let mut cell = SimCell::new(cfg, flows);
+        let report = cell.runner().run().report;
+        let traces = cell.flow_traces().expect("run finished");
         (report, traces)
     }
 
     /// Runs `flows` under `cfg` and returns the report.
+    ///
+    /// Convenience for the common case; equivalent to
+    /// `SimCell::new(cfg, flows).runner().run().report`. Variant behaviour
+    /// (audited, traced, counted, per-event dispatch, eager memory polls)
+    /// lives on the [`RunOptions`] builder — see
+    /// [`SimCell::runner`].
     pub fn run(cfg: SystemConfig, flows: Vec<FlowSpec>) -> SystemReport {
-        let sim = SystemSim::new(cfg, flows);
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        sim.build_report(events)
+        SimCell::new(cfg, flows).runner().run().report
     }
 
     /// Runs `flows` under `cfg` counting dispatches per event kind via the
@@ -925,27 +1014,14 @@ impl SystemSim {
     /// [`SystemSim::run`]'s (the hook only observes), so the report digest
     /// matches an uncounted run bit-for-bit.
     #[cfg(feature = "trace")]
+    #[deprecated(note = "use `SimCell::runner().counted().run()`")]
     pub fn run_with_event_counts(
         cfg: SystemConfig,
         flows: Vec<FlowSpec>,
     ) -> (SystemReport, EventCounts) {
-        use std::cell::RefCell;
-
-        let sim = SystemSim::new(cfg, flows);
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        let counts = Rc::new(RefCell::new(EventCounts::default()));
-        let sink = Rc::clone(&counts);
-        engine.set_dispatch_hook(Box::new(move |_at, ev: &Ev| {
-            sink.borrow_mut().count(ev);
-        }));
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        let report = sim.build_report(events);
-        let counts = *counts.borrow();
-        (report, counts)
+        let mut cell = SimCell::new(cfg, flows);
+        let out = cell.runner().counted().run();
+        (out.report, out.counts.expect("counted run"))
     }
 
     /// Runs `flows` under `cfg` with stale (superseded) MemTicks re-polling
@@ -954,16 +1030,13 @@ impl SystemSim {
     /// so the reports must match bit-for-bit; tests use this to prove the
     /// skip is behavior-preserving.
     #[doc(hidden)]
+    #[deprecated(note = "use `SimCell::runner().eager_mem_poll().run()`")]
     pub fn run_eager_mem_poll(cfg: SystemConfig, flows: Vec<FlowSpec>) -> SystemReport {
-        let mut sim = SystemSim::new(cfg, flows);
-        sim.eager_mem_poll = true;
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        sim.build_report(events)
+        SimCell::new(cfg, flows)
+            .runner()
+            .eager_mem_poll()
+            .run()
+            .report
     }
 
     /// Like [`SystemSim::run`] but dispatching one event at a time via
@@ -972,15 +1045,13 @@ impl SystemSim {
     /// the property suite can prove by-kind batch grouping is
     /// behavior-preserving; everything else should use [`SystemSim::run`].
     #[doc(hidden)]
+    #[deprecated(note = "use `SimCell::runner().per_event_dispatch().run()`")]
     pub fn run_per_event_dispatch(cfg: SystemConfig, flows: Vec<FlowSpec>) -> SystemReport {
-        let sim = SystemSim::new(cfg, flows);
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        SystemSim::seed(&mut engine);
-        engine.run_until(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        sim.build_report(events)
+        SimCell::new(cfg, flows)
+            .runner()
+            .per_event_dispatch()
+            .run()
+            .report
     }
 }
 
@@ -1020,6 +1091,75 @@ impl SystemSim {
 /// ```
 pub struct SimCell {
     engine: Engine<SystemSim>,
+    phase: CellPhase,
+}
+
+/// Lifecycle phase of a [`SimCell`] under the resumable session API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellPhase {
+    /// Constructed or reset; the event calendar is not yet seeded.
+    Fresh,
+    /// Seeded and (possibly partially) stepped; no report built yet.
+    Running,
+    /// The report was built; post-run accessors are valid.
+    Finished,
+}
+
+/// Error from a post-run accessor called before the run completed: the
+/// ledgers hold only a partial run's frames and harvesting them would
+/// silently skew statistics. Finish the run ([`SimCell::finish`] or
+/// [`SimCell::run`]) first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunIncomplete;
+
+impl std::fmt::Display for RunIncomplete {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "simulation report not built yet: finish the run before harvesting post-run state",
+        )
+    }
+}
+
+impl std::error::Error for RunIncomplete {}
+
+/// A cheap, self-contained capture of a [`SimCell`] mid-run: the
+/// scheduler calendar (heap, cancellations, sequence counter) plus the
+/// full model state (lane SoA state, dispatch slots, [`FetchSlab`] tags,
+/// frame ledgers, DRAM channel state, CPU cores, fabric, counters).
+///
+/// Snapshots are plain owned data — `Clone` + `Send` — so they can sit in
+/// a shared cache and be restored into any warm cell on any thread.
+/// Restoring and continuing is bit-identical to running straight through
+/// (golden- and property-tested), because coincident event batches never
+/// straddle a [`SimCell::run_until`] split instant.
+///
+/// Trace-feature note: the snapshot deliberately *excludes* observers
+/// (the [`Tracer`] ring and the DRAM probe closure). Observers are
+/// digest-neutral by contract, and sharing a recording ring between the
+/// source cell and every restored branch would interleave their traces.
+/// A restored cell comes up with tracing disabled.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    sched: desim::SchedulerSnapshot<Ev>,
+    model: SystemSim,
+    phase: CellPhase,
+}
+
+impl SimSnapshot {
+    /// Simulated instant the snapshot was taken at.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Events still pending on the captured calendar.
+    pub fn pending_events(&self) -> usize {
+        self.sched.pending()
+    }
+
+    /// The captured run horizon.
+    pub fn end(&self) -> SimTime {
+        self.model.end
+    }
 }
 
 impl SimCell {
@@ -1031,6 +1171,7 @@ impl SimCell {
     pub fn new(cfg: SystemConfig, flows: Vec<FlowSpec>) -> Self {
         SimCell {
             engine: Engine::new(SystemSim::new(cfg, flows)),
+            phase: CellPhase::Fresh,
         }
     }
 
@@ -1041,76 +1182,344 @@ impl SimCell {
     pub fn reset(&mut self, cfg: &SystemConfig, flows: &[FlowSpec]) {
         self.engine.scheduler().reset();
         self.engine.model_mut().reset(cfg, flows);
+        self.phase = CellPhase::Fresh;
+    }
+
+    /// Starts configuring a run of this cell; finish with
+    /// [`RunOptions::run`]. The one execution surface behind every
+    /// run-to-completion convenience:
+    ///
+    /// ```ignore
+    /// let out = cell.runner().audited().run();      // audit feature
+    /// let out = cell.runner().traced(1 << 16).run(); // trace feature
+    /// let report = cell.runner().per_event_dispatch().run().report;
+    /// ```
+    pub fn runner(&mut self) -> RunOptions<'_> {
+        RunOptions::new(self)
     }
 
     /// Seeds the calendar, runs to the horizon, and builds the report.
+    ///
+    /// Equivalent to `self.runner().run().report`.
     pub fn run(&mut self) -> SystemReport {
-        SystemSim::seed(&mut self.engine);
+        self.runner().run().report
+    }
+
+    /// Steps the simulation up to `t` (clamped to the configured horizon)
+    /// and returns, leaving the cell resumable. Seeds the calendar on the
+    /// first call after construction or [`reset`](Self::reset). Events
+    /// scheduled exactly at `t` dispatch before returning, so a
+    /// `run_until(t)` + `run_until(end)` split is bit-identical to one
+    /// straight `run_until(end)` — coincident batches never straddle the
+    /// split instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the report was built ([`finish`](Self::finish)
+    /// or [`run`](Self::run)); [`reset`](Self::reset) or
+    /// [`restore`](Self::restore) first.
+    pub fn run_until(&mut self, t: SimTime) -> desim::RunOutcome {
+        assert!(
+            self.phase != CellPhase::Finished,
+            "SimCell::run_until after the report was built; reset or restore first"
+        );
+        if self.phase == CellPhase::Fresh {
+            SystemSim::seed(&mut self.engine);
+            self.phase = CellPhase::Running;
+        }
+        let horizon = t.min(self.engine.model().end);
+        self.engine.run_until_batched(horizon)
+    }
+
+    /// Runs any remaining events to the horizon and builds the report.
+    /// Together with [`run_until`](Self::run_until) this is the stepped
+    /// equivalent of [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report was already built.
+    pub fn finish(&mut self) -> SystemReport {
         let end = self.engine.model().end;
-        self.engine.run_until_batched(end);
+        self.run_until(end);
         let events = self.engine.scheduler().events_dispatched();
+        self.phase = CellPhase::Finished;
         self.engine.model_mut().build_report(events)
     }
 
-    /// See [`SystemSim::harvest_flow_times`]. Call after
-    /// [`run`](Self::run) and before the next [`reset`](Self::reset).
-    pub fn harvest_flow_times(&self, hist: &mut telemetry::LogHistogram) {
+    /// Simulated time the cell has advanced to.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Captures the cell's complete state — calendar and model — into an
+    /// owned, cloneable [`SimSnapshot`]. Non-destructive: the cell
+    /// continues unperturbed. Valid in any phase (a finished cell's
+    /// snapshot restores to a finished cell).
+    pub fn snapshot(&self) -> SimSnapshot {
+        let model = self.engine.model().clone();
+        #[cfg(feature = "trace")]
+        let model = {
+            let mut m = model;
+            // Observers stay with the source cell; see SimSnapshot docs.
+            m.tracer = Tracer::disabled();
+            m
+        };
+        SimSnapshot {
+            sched: self.engine.scheduler_ref().snapshot(),
+            model,
+            phase: self.phase,
+        }
+    }
+
+    /// Rewinds the cell to `snap`, reusing the cell's existing
+    /// allocations where shapes allow ([`Clone::clone_from`] on the model,
+    /// heap reuse on the calendar). The cell may hold any prior state —
+    /// including a differently-shaped workload — and continues from the
+    /// snapshot bit-identically to the cell the snapshot was taken from.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.engine.scheduler().restore(&snap.sched);
+        self.engine.model_mut().clone_from(&snap.model);
+        self.phase = snap.phase;
+    }
+
+    /// See [`SystemSim::harvest_flow_times`]. Valid only once the run
+    /// completed ([`finish`](Self::finish) or [`run`](Self::run)) and
+    /// before the next [`reset`](Self::reset).
+    pub fn harvest_flow_times(
+        &self,
+        hist: &mut telemetry::LogHistogram,
+    ) -> Result<(), RunIncomplete> {
+        if self.phase != CellPhase::Finished {
+            return Err(RunIncomplete);
+        }
         self.engine.model().harvest_flow_times(hist);
+        Ok(())
+    }
+
+    /// Materializes per-frame traces for every flow. Valid only once the
+    /// run completed, for the same reason as
+    /// [`harvest_flow_times`](Self::harvest_flow_times).
+    pub fn flow_traces(&self) -> Result<Vec<crate::trace::FlowTrace>, RunIncomplete> {
+        if self.phase != CellPhase::Finished {
+            return Err(RunIncomplete);
+        }
+        let sim = self.engine.model();
+        Ok(sim
+            .flows
+            .iter()
+            .map(|f| crate::trace::FlowTrace {
+                name: f.spec.name.clone(),
+                stage_names: f.spec.stages.iter().map(|s| s.ip.abbrev()).collect(),
+                records: (0..f.ledger.len() as u64)
+                    .map(|k| f.ledger.materialize(k))
+                    .collect(),
+            })
+            .collect())
     }
 }
 
-impl SystemSim {
-    /// Runs `flows` under `cfg` with the runtime sanitizer armed,
-    /// returning the report and the audit summary.
-    ///
-    /// The auditor only observes — it never schedules events or mutates
-    /// sim state — so the report digest matches an unaudited run
-    /// bit-for-bit. A violated invariant panics with the failing values.
+/// Builder-style run configuration for a [`SimCell`]; obtained from
+/// [`SimCell::runner`], consumed by [`run`](RunOptions::run).
+///
+/// Collapses the historical `run_*` entry-point family into one surface:
+/// flags compose (`.audited().eager_mem_poll()`), feature-gated observers
+/// are compile-checked, and every variant shares the same seed → step →
+/// report skeleton so schedule identity is structural, not copy-pasted.
+#[must_use = "RunOptions does nothing until .run() is called"]
+pub struct RunOptions<'a> {
+    cell: &'a mut SimCell,
+    per_event_dispatch: bool,
+    eager_mem_poll: bool,
     #[cfg(feature = "audit")]
-    pub fn run_audited(
-        cfg: SystemConfig,
-        flows: Vec<FlowSpec>,
-    ) -> (SystemReport, crate::audit::AuditSummary) {
-        let mut sim = SystemSim::new(cfg, flows);
-        sim.audit = Auditor::armed(sim.flows.len());
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let time_checks = engine.scheduler().audit_time_checks();
-        let mut sim = engine.into_model();
-        let report = sim.build_report(events);
-        let in_flight: u64 = sim.flows.iter().map(|f| u64::from(f.in_flight)).sum();
-        let summary = sim.audit.finish(time_checks, in_flight);
-        (report, summary)
+    audited: bool,
+    #[cfg(feature = "trace")]
+    trace_capacity: Option<usize>,
+    #[cfg(feature = "trace")]
+    counted: bool,
+}
+
+/// Everything a configured [`RunOptions::run`] produced. The report is
+/// always present; observer artifacts are `Some` iff the matching flag
+/// was set.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run's report; digest-identical across observer flags (observers
+    /// never perturb the schedule).
+    pub report: SystemReport,
+    /// Audit summary, iff [`RunOptions::audited`].
+    #[cfg(feature = "audit")]
+    pub audit: Option<crate::audit::AuditSummary>,
+    /// Finished trace session, iff [`RunOptions::traced`].
+    #[cfg(feature = "trace")]
+    pub trace: Option<crate::TraceSession>,
+    /// Per-kind dispatch counts, iff [`RunOptions::counted`].
+    #[cfg(feature = "trace")]
+    pub counts: Option<EventCounts>,
+}
+
+impl<'a> RunOptions<'a> {
+    fn new(cell: &'a mut SimCell) -> Self {
+        RunOptions {
+            cell,
+            per_event_dispatch: false,
+            eager_mem_poll: false,
+            #[cfg(feature = "audit")]
+            audited: false,
+            #[cfg(feature = "trace")]
+            trace_capacity: None,
+            #[cfg(feature = "trace")]
+            counted: false,
+        }
     }
 
-    /// Runs `flows` under `cfg` while recording a structured trace into a
-    /// ring of `capacity` events, returning the report and the finished
-    /// [`TraceSession`](crate::TraceSession) for export.
-    ///
-    /// The recorded schedule is identical to [`SystemSim::run`]'s: the
-    /// tracer only observes, it never perturbs event ordering, so the
-    /// report digest matches an untraced run bit-for-bit.
+    /// Dispatch one event at a time ([`Engine::run_until`]) instead of
+    /// the coincident-batch path — the reference schedule the batched
+    /// dispatcher must reproduce bit-for-bit. For the property suite.
+    pub fn per_event_dispatch(mut self) -> Self {
+        self.per_event_dispatch = true;
+        self
+    }
+
+    /// Re-poll the memory system on stale (superseded) MemTicks — the
+    /// per-event schedule that coalescing optimizes away. The calendar is
+    /// identical either way (tests prove the skip is behavior-preserving).
+    pub fn eager_mem_poll(mut self) -> Self {
+        self.eager_mem_poll = true;
+        self
+    }
+
+    /// Arm the runtime sanitizer; [`RunOutput::audit`] carries the
+    /// summary. The auditor only observes — the report digest matches an
+    /// unaudited run bit-for-bit. A violated invariant panics with the
+    /// failing values.
+    #[cfg(feature = "audit")]
+    pub fn audited(mut self) -> Self {
+        self.audited = true;
+        self
+    }
+
+    /// Record a structured trace into a ring of `capacity` events;
+    /// [`RunOutput::trace`] carries the finished session. The tracer only
+    /// observes — the report digest matches an untraced run bit-for-bit.
+    /// Mutually exclusive with [`counted`](Self::counted) (both need the
+    /// engine's single dispatch hook).
     #[cfg(feature = "trace")]
-    pub fn run_traced(
-        cfg: SystemConfig,
-        flows: Vec<FlowSpec>,
-        capacity: usize,
-    ) -> (SystemReport, crate::TraceSession) {
-        use telemetry::{EventKind, TraceEvent, TraceSink, TrackGroup, TrackId};
+    pub fn traced(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
 
-        let mut sim = SystemSim::new(cfg, flows);
-        sim.tracer = Tracer::recording(capacity);
-        let rec = sim.tracer.share().expect("tracer is recording");
-        let flow_names: Vec<String> = sim.flows.iter().map(|f| f.spec.name.clone()).collect();
+    /// Count dispatches per event kind via the engine's trace-only
+    /// dispatch hook; [`RunOutput::counts`] carries the totals. Mutually
+    /// exclusive with [`traced`](Self::traced).
+    #[cfg(feature = "trace")]
+    pub fn counted(mut self) -> Self {
+        self.counted = true;
+        self
+    }
 
-        // DRAM channel issue/complete + queue depth, straight from the
-        // memory system's probe.
-        let dram_rec = Rc::clone(&rec);
-        sim.mem.set_probe(Box::new(move |p: dram::DramProbe| {
-            let mut r = dram_rec.borrow_mut();
+    /// Seeds the calendar, runs to the horizon with the configured
+    /// dispatch mode and observers, and builds the report plus any
+    /// requested artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not fresh (construct or
+    /// [`reset`](SimCell::reset) first), or if both `traced` and
+    /// `counted` were requested.
+    pub fn run(self) -> RunOutput {
+        let cell = self.cell;
+        assert!(
+            cell.phase == CellPhase::Fresh,
+            "RunOptions::run requires a fresh or reset cell"
+        );
+        cell.engine.model_mut().eager_mem_poll = self.eager_mem_poll;
+
+        #[cfg(feature = "audit")]
+        if self.audited {
+            let n = cell.engine.model().flows.len();
+            cell.engine.model_mut().audit = Auditor::armed(n);
+        }
+
+        #[cfg(feature = "trace")]
+        assert!(
+            !(self.counted && self.trace_capacity.is_some()),
+            "traced and counted both need the engine's single dispatch hook"
+        );
+
+        #[cfg(feature = "trace")]
+        let counts = if self.counted {
+            let counts = Rc::new(std::cell::RefCell::new(EventCounts::default()));
+            let sink = Rc::clone(&counts);
+            cell.engine.set_dispatch_hook(Box::new(move |_at, ev: &Ev| {
+                sink.borrow_mut().count(ev);
+            }));
+            Some(counts)
+        } else {
+            None
+        };
+
+        #[cfg(feature = "trace")]
+        let tracing = if let Some(capacity) = self.trace_capacity {
+            let model = cell.engine.model_mut();
+            model.tracer = Tracer::recording(capacity);
+            let rec = model.tracer.share().expect("tracer is recording");
+            let flow_names: Vec<String> = model.flows.iter().map(|f| f.spec.name.clone()).collect();
+            install_trace_probes(cell, &rec);
+            Some((rec, flow_names))
+        } else {
+            None
+        };
+
+        let end = cell.engine.model().end;
+        SystemSim::seed(&mut cell.engine);
+        cell.phase = CellPhase::Running;
+        if self.per_event_dispatch {
+            cell.engine.run_until(end);
+        } else {
+            cell.engine.run_until_batched(end);
+        }
+        let events = cell.engine.scheduler().events_dispatched();
+        #[cfg(feature = "audit")]
+        let time_checks = cell.engine.scheduler().audit_time_checks();
+        cell.phase = CellPhase::Finished;
+        let report = cell.engine.model_mut().build_report(events);
+
+        #[cfg(feature = "audit")]
+        let audit = if self.audited {
+            let model = cell.engine.model_mut();
+            let in_flight: u64 = model.flows.iter().map(|f| u64::from(f.in_flight)).sum();
+            Some(model.audit.finish(time_checks, in_flight))
+        } else {
+            None
+        };
+
+        RunOutput {
+            report,
+            #[cfg(feature = "audit")]
+            audit,
+            #[cfg(feature = "trace")]
+            trace: tracing.map(|(rec, flow_names)| crate::TraceSession { rec, flow_names }),
+            #[cfg(feature = "trace")]
+            counts: counts.map(|c| *c.borrow()),
+        }
+    }
+}
+
+/// Installs the trace-session observers: the DRAM probe (channel
+/// issue/complete spans + queue depth counters) and the raw-dispatch
+/// counter hook (57M+ dispatches per long run: counted, not
+/// ring-buffered).
+#[cfg(feature = "trace")]
+fn install_trace_probes(cell: &mut SimCell, rec: &Arc<std::sync::Mutex<telemetry::RingRecorder>>) {
+    use telemetry::{EventKind, TraceEvent, TraceSink, TrackGroup, TrackId};
+
+    let dram_rec = Arc::clone(rec);
+    cell.engine
+        .model_mut()
+        .mem
+        .set_probe(Box::new(move |p: dram::DramProbe| {
+            let mut r = dram_rec.lock().expect("recorder lock");
             match p {
                 dram::DramProbe::Issue {
                     channel,
@@ -1149,23 +1558,47 @@ impl SystemSim {
             }
         }));
 
-        let end = sim.end;
-        let mut engine = Engine::new(sim);
+    let hook_rec = Arc::clone(rec);
+    cell.engine.set_dispatch_hook(Box::new(move |_at, _ev| {
+        hook_rec.lock().expect("recorder lock").note_dispatch();
+    }));
+}
 
-        // Count raw engine dispatches (57M+ per long run: counted, not
-        // ring-buffered).
-        let hook_rec = Rc::clone(&rec);
-        engine.set_dispatch_hook(Box::new(move |_at, _ev| {
-            hook_rec.borrow_mut().note_dispatch();
-        }));
+impl SystemSim {
+    /// Runs `flows` under `cfg` with the runtime sanitizer armed,
+    /// returning the report and the audit summary.
+    ///
+    /// The auditor only observes — it never schedules events or mutates
+    /// sim state — so the report digest matches an unaudited run
+    /// bit-for-bit. A violated invariant panics with the failing values.
+    #[cfg(feature = "audit")]
+    #[deprecated(note = "use `SimCell::runner().audited().run()`")]
+    pub fn run_audited(
+        cfg: SystemConfig,
+        flows: Vec<FlowSpec>,
+    ) -> (SystemReport, crate::audit::AuditSummary) {
+        let mut cell = SimCell::new(cfg, flows);
+        let out = cell.runner().audited().run();
+        (out.report, out.audit.expect("audited run"))
+    }
 
-        SystemSim::seed(&mut engine);
-        engine.run_until_batched(end);
-        let events = engine.scheduler().events_dispatched();
-        let mut sim = engine.into_model();
-        let report = sim.build_report(events);
-        drop(sim);
-        (report, crate::TraceSession { rec, flow_names })
+    /// Runs `flows` under `cfg` while recording a structured trace into a
+    /// ring of `capacity` events, returning the report and the finished
+    /// [`TraceSession`](crate::TraceSession) for export.
+    ///
+    /// The recorded schedule is identical to [`SystemSim::run`]'s: the
+    /// tracer only observes, it never perturbs event ordering, so the
+    /// report digest matches an untraced run bit-for-bit.
+    #[cfg(feature = "trace")]
+    #[deprecated(note = "use `SimCell::runner().traced(capacity).run()`")]
+    pub fn run_traced(
+        cfg: SystemConfig,
+        flows: Vec<FlowSpec>,
+        capacity: usize,
+    ) -> (SystemReport, crate::TraceSession) {
+        let mut cell = SimCell::new(cfg, flows);
+        let out = cell.runner().traced(capacity).run();
+        (out.report, out.trace.expect("traced run"))
     }
 
     // ------------------------------------------------------------------
@@ -2593,6 +3026,161 @@ mod tests {
         }
     }
 
+    /// Stepping to an arbitrary split instant and finishing must be
+    /// bit-identical to running straight through: coincident batches
+    /// never straddle the split.
+    #[test]
+    fn split_run_matches_straight_run_bit_for_bit() {
+        for &scheme in &Scheme::ALL {
+            let cfg = quick_cfg(scheme);
+            let flows = vec![small_video("v"), small_video("w")];
+            let straight = SystemSim::run(cfg.clone(), flows.clone());
+
+            let mut cell = SimCell::new(cfg.clone(), flows.clone());
+            cell.run_until(SimTime::from_ms(67));
+            assert!(cell.now() <= SimTime::from_ms(67));
+            cell.run_until(SimTime::from_ms(133));
+            let split = cell.finish();
+            assert_eq!(
+                split.digest(),
+                straight.digest(),
+                "split run drifted under {scheme:?}"
+            );
+            assert_eq!(split.events, straight.events, "event calendar differs");
+        }
+    }
+
+    /// Snapshot is non-destructive; restore — including a double restore
+    /// from the same snapshot, and a restore into a differently-shaped
+    /// warm cell — continues bit-identically to the source cell.
+    #[test]
+    fn snapshot_restore_branches_bit_identically() {
+        let cfg = quick_cfg(Scheme::Vip);
+        let flows = vec![small_video("a"), small_video("b")];
+        let straight = SystemSim::run(cfg.clone(), flows.clone());
+
+        let mut cell = SimCell::new(cfg.clone(), flows.clone());
+        cell.run_until(SimTime::from_ms(100));
+        let snap = cell.snapshot();
+        assert_eq!(snap.now(), cell.now());
+        assert!(snap.pending_events() > 0, "mid-run calendar is empty");
+        assert_eq!(snap.end(), SimTime::ZERO + cfg.duration);
+
+        // Snapshotting must not perturb the source cell.
+        let source = cell.finish();
+        assert_eq!(source.digest(), straight.digest(), "snapshot perturbed");
+
+        // Restore into a warm cell of a *different* shape (other scheme,
+        // one flow): the branch must still match the straight run.
+        let mut branch = SimCell::new(quick_cfg(Scheme::Baseline), vec![small_video("warm")]);
+        branch.run_until(SimTime::from_ms(40));
+        branch.restore(&snap);
+        assert_eq!(branch.now(), snap.now());
+        assert_eq!(
+            branch.finish().digest(),
+            straight.digest(),
+            "restored branch drifted"
+        );
+
+        // Double restore: the snapshot is reusable, and a finished cell
+        // can be rewound through it.
+        branch.restore(&snap);
+        assert_eq!(
+            branch.finish().digest(),
+            straight.digest(),
+            "second restore drifted"
+        );
+    }
+
+    /// A finished cell snapshots too: the restored cell is immediately
+    /// harvestable, with ledgers identical to the source's.
+    #[test]
+    fn snapshot_of_finished_cell_restores_finished() {
+        let cfg = quick_cfg(Scheme::Vip);
+        let flows = vec![small_video("a")];
+        let mut cell = SimCell::new(cfg.clone(), flows.clone());
+        let report = cell.finish();
+        let snap = cell.snapshot();
+
+        let mut other = SimCell::new(quick_cfg(Scheme::Baseline), vec![small_video("x")]);
+        other.restore(&snap);
+        let mut from_src = telemetry::LogHistogram::new();
+        let mut from_restored = telemetry::LogHistogram::new();
+        cell.harvest_flow_times(&mut from_src).expect("finished");
+        other
+            .harvest_flow_times(&mut from_restored)
+            .expect("restored cell is finished");
+        assert_eq!(from_src.count(), report.frames_completed);
+        assert_eq!(from_src.count(), from_restored.count());
+        assert_eq!(from_src.sum(), from_restored.sum());
+    }
+
+    /// Post-run accessors refuse partial runs in every pre-report phase.
+    #[test]
+    fn post_run_accessors_guard_incomplete_runs() {
+        let cfg = quick_cfg(Scheme::Vip);
+        let flows = vec![small_video("a")];
+        let mut cell = SimCell::new(cfg, flows);
+        let mut hist = telemetry::LogHistogram::new();
+        assert_eq!(
+            cell.harvest_flow_times(&mut hist),
+            Err(RunIncomplete),
+            "fresh cell harvested"
+        );
+        cell.run_until(SimTime::from_ms(50));
+        assert_eq!(
+            cell.harvest_flow_times(&mut hist),
+            Err(RunIncomplete),
+            "mid-run cell harvested"
+        );
+        assert_eq!(cell.flow_traces().err(), Some(RunIncomplete));
+        let report = cell.finish();
+        cell.harvest_flow_times(&mut hist).expect("finished");
+        let traces = cell.flow_traces().expect("finished");
+        assert_eq!(traces.len(), 1);
+        assert_eq!(hist.count(), report.frames_completed);
+    }
+
+    /// The deprecated entry-point shims stay behavior-identical to the
+    /// builder surface they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shims_match_builder() {
+        let cfg = quick_cfg(Scheme::IpToIpBurst);
+        let flows = vec![small_video("a"), small_video("b")];
+        let plain = SystemSim::run(cfg.clone(), flows.clone());
+        assert_eq!(
+            SystemSim::run_eager_mem_poll(cfg.clone(), flows.clone()).digest(),
+            plain.digest()
+        );
+        assert_eq!(
+            SystemSim::run_per_event_dispatch(cfg.clone(), flows.clone()).digest(),
+            plain.digest()
+        );
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            SystemSim::run_audited(cfg.clone(), flows.clone())
+                .0
+                .digest(),
+            plain.digest()
+        );
+        #[cfg(feature = "trace")]
+        {
+            assert_eq!(
+                SystemSim::run_traced(cfg.clone(), flows.clone(), 1 << 12)
+                    .0
+                    .digest(),
+                plain.digest()
+            );
+            assert_eq!(
+                SystemSim::run_with_event_counts(cfg.clone(), flows.clone())
+                    .0
+                    .digest(),
+                plain.digest()
+            );
+        }
+    }
+
     /// The harvest hook observes; it must never perturb the simulation,
     /// and its sample count must agree with the report it rides along.
     #[test]
@@ -2604,7 +3192,8 @@ mod tests {
         let mut cell = SimCell::new(cfg.clone(), flows.clone());
         let report = cell.run();
         let mut hist = telemetry::LogHistogram::new();
-        cell.harvest_flow_times(&mut hist);
+        cell.harvest_flow_times(&mut hist)
+            .expect("finished run harvests");
         assert_eq!(
             report.digest(),
             plain.digest(),
@@ -2624,14 +3213,16 @@ mod tests {
 
         // Harvesting twice into the same histogram just doubles it —
         // the hook is read-only on the model.
-        cell.harvest_flow_times(&mut hist);
+        cell.harvest_flow_times(&mut hist)
+            .expect("finished run harvests");
         assert_eq!(hist.count(), 2 * report.frames_completed);
 
-        // After a reset the ledgers are rewound: a fresh harvest is empty.
+        // After a reset the run is no longer complete: the lifecycle
+        // guard refuses to harvest a partial (here: empty) ledger.
         cell.reset(&cfg, &flows);
         let mut empty = telemetry::LogHistogram::new();
-        cell.harvest_flow_times(&mut empty);
-        assert_eq!(empty.count(), 0, "reset left stale ledger rows behind");
+        assert_eq!(cell.harvest_flow_times(&mut empty), Err(RunIncomplete));
+        assert_eq!(empty.count(), 0, "failed harvest touched the histogram");
     }
 
     /// A freed slot's key must go stale: once the slot is reused, the old
@@ -2665,7 +3256,9 @@ mod tests {
     fn traced_run_is_bit_identical_and_exports_valid_json() {
         let flows = || vec![small_video("a"), small_video("b")];
         let plain = SystemSim::run(quick_cfg(Scheme::Vip), flows());
-        let (traced, session) = SystemSim::run_traced(quick_cfg(Scheme::Vip), flows(), 1 << 16);
+        let mut cell = SimCell::new(quick_cfg(Scheme::Vip), flows());
+        let out = cell.runner().traced(1 << 16).run();
+        let (traced, session) = (out.report, out.trace.expect("traced run"));
         assert_eq!(plain.digest(), traced.digest(), "tracing perturbed the run");
 
         assert!(!session.is_empty(), "nothing recorded");
@@ -2683,7 +3276,9 @@ mod tests {
     fn audited_run_is_bit_identical_and_every_invariant_is_checked() {
         let flows = || vec![small_video("a"), small_video("b")];
         let plain = SystemSim::run(quick_cfg(Scheme::Vip), flows());
-        let (audited, summary) = SystemSim::run_audited(quick_cfg(Scheme::Vip), flows());
+        let mut cell = SimCell::new(quick_cfg(Scheme::Vip), flows());
+        let out = cell.runner().audited().run();
+        let (audited, summary) = (out.report, out.audit.expect("audited run"));
         assert_eq!(
             plain.digest(),
             audited.digest(),

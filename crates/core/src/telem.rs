@@ -22,8 +22,7 @@ use desim::SimTime;
 
 #[cfg(feature = "trace")]
 mod enabled {
-    use std::cell::{Ref, RefCell};
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex, MutexGuard};
 
     use desim::SimTime;
     use telemetry::{
@@ -32,12 +31,15 @@ mod enabled {
 
     /// Recording tracer: forwards every hook into a shared ring recorder.
     ///
-    /// Shared via `Rc` because the DRAM probe closure and the engine
-    /// dispatch hook each need their own handle; `SystemSim` is built,
-    /// run, and consumed on one thread, so `Rc<RefCell<_>>` is sound.
+    /// Shared via `Arc<Mutex<_>>` because the DRAM probe closure and the
+    /// engine dispatch hook each need their own handle, and because
+    /// `SystemSim` (and therefore a `SimSnapshot`) must stay `Send` so the
+    /// serve/campaign worker pools can move warm state between threads.
+    /// The lock is uncontended — one sim runs on one thread — so the cost
+    /// stays confined to traced runs.
     #[derive(Debug, Clone, Default)]
     pub struct Tracer {
-        rec: Option<Rc<RefCell<RingRecorder>>>,
+        rec: Option<Arc<Mutex<RingRecorder>>>,
     }
 
     impl Tracer {
@@ -49,7 +51,7 @@ mod enabled {
         /// A tracer recording into a fresh ring of `capacity` events.
         pub fn recording(capacity: usize) -> Self {
             Tracer {
-                rec: Some(Rc::new(RefCell::new(RingRecorder::new(capacity)))),
+                rec: Some(Arc::new(Mutex::new(RingRecorder::new(capacity)))),
             }
         }
 
@@ -60,18 +62,18 @@ mod enabled {
 
         /// A second handle to the underlying recorder (for the DRAM probe
         /// and engine hook closures).
-        pub fn share(&self) -> Option<Rc<RefCell<RingRecorder>>> {
+        pub fn share(&self) -> Option<Arc<Mutex<RingRecorder>>> {
             self.rec.clone()
         }
 
         /// Read access to the recorder, if recording.
-        pub fn recorder(&self) -> Option<Ref<'_, RingRecorder>> {
-            self.rec.as_ref().map(|r| r.borrow())
+        pub fn recorder(&self) -> Option<MutexGuard<'_, RingRecorder>> {
+            self.rec.as_ref().map(|r| r.lock().expect("recorder lock"))
         }
 
         fn emit(&self, t: SimTime, kind: EventKind) {
             if let Some(rec) = &self.rec {
-                rec.borrow_mut().record(TraceEvent {
+                rec.lock().expect("recorder lock").record(TraceEvent {
                     t_ns: t.as_ns(),
                     kind,
                 });
@@ -80,7 +82,7 @@ mod enabled {
 
         fn emit_named(&self, t: SimTime, track: TrackId, name: &str, instant: bool) {
             if let Some(rec) = &self.rec {
-                let mut rec = rec.borrow_mut();
+                let mut rec = rec.lock().expect("recorder lock");
                 let name = rec.intern(name);
                 let kind = if instant {
                     EventKind::Instant { track, name }
@@ -183,7 +185,7 @@ mod enabled {
 
         fn counter(&self, track: TrackId, name: &str, at: SimTime, value: f64) {
             if let Some(rec) = &self.rec {
-                let mut rec = rec.borrow_mut();
+                let mut rec = rec.lock().expect("recorder lock");
                 let name = rec.intern(name);
                 rec.record(TraceEvent {
                     t_ns: at.as_ns(),
@@ -198,7 +200,7 @@ mod enabled {
     #[derive(Debug)]
     pub struct TraceSession {
         /// The shared recorder the run filled.
-        pub rec: Rc<RefCell<RingRecorder>>,
+        pub rec: Arc<Mutex<RingRecorder>>,
         /// Flow names, indexed by flow id (`TrackGroup::Flow`'s `a`).
         pub flow_names: Vec<String>,
     }
@@ -228,27 +230,27 @@ mod enabled {
                         .unwrap_or_else(|| format!("flow {}", t.a)),
                 }
             };
-            export_chrome_json(&self.rec.borrow(), &namer)
+            export_chrome_json(&self.rec.lock().expect("recorder lock"), &namer)
         }
 
         /// Events currently held in the ring.
         pub fn len(&self) -> usize {
-            self.rec.borrow().len()
+            self.rec.lock().expect("recorder lock").len()
         }
 
         /// Whether nothing was recorded.
         pub fn is_empty(&self) -> bool {
-            self.rec.borrow().is_empty()
+            self.rec.lock().expect("recorder lock").is_empty()
         }
 
         /// Total events offered to the ring (kept + overwritten).
         pub fn events_written(&self) -> u64 {
-            self.rec.borrow().written()
+            self.rec.lock().expect("recorder lock").written()
         }
 
         /// Raw engine dispatches counted during the run.
         pub fn engine_dispatches(&self) -> u64 {
-            self.rec.borrow().dispatches()
+            self.rec.lock().expect("recorder lock").dispatches()
         }
     }
 }

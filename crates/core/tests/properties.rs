@@ -167,7 +167,11 @@ fn eager_mem_poll_is_behavior_preserving() {
             cfg
         };
         let lazy = SystemSim::run(cfg(), build(&geoms));
-        let eager = SystemSim::run_eager_mem_poll(cfg(), build(&geoms));
+        let eager = vip_core::SimCell::new(cfg(), build(&geoms))
+            .runner()
+            .eager_mem_poll()
+            .run()
+            .report;
         assert_eq!(
             lazy.digest(),
             eager.digest(),
@@ -195,7 +199,11 @@ fn batched_dispatch_is_behavior_preserving() {
             cfg
         };
         let batched = SystemSim::run(cfg(), build(&geoms));
-        let per_event = SystemSim::run_per_event_dispatch(cfg(), build(&geoms));
+        let per_event = vip_core::SimCell::new(cfg(), build(&geoms))
+            .runner()
+            .per_event_dispatch()
+            .run()
+            .report;
         assert_eq!(
             batched.digest(),
             per_event.digest(),
@@ -204,6 +212,52 @@ fn batched_dispatch_is_behavior_preserving() {
         assert_eq!(
             batched.events, per_event.events,
             "{scheme}: event calendar differs"
+        );
+    });
+}
+
+/// Snapshot/restore is invisible at any split instant: for random
+/// geometries, schemes, and split points `t`, snapshotting at `t`,
+/// restoring into a warm cell, and continuing reproduces the
+/// straight-through digest bit-for-bit — and taking the snapshot never
+/// perturbs the source cell.
+#[test]
+fn snapshot_restore_at_any_split_is_behavior_preserving() {
+    forall("snapshot restore split", 8, |rng| {
+        let geoms = vec_of(rng, 1, 3, arb_flow);
+        let scheme = Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize];
+        let horizon_ms = 150;
+        let split_ns = rng.range(1, horizon_ms * 1_000_000);
+        let cfg = || {
+            let mut cfg = SystemConfig::table3(scheme);
+            cfg.duration = SimDelta::from_ms(horizon_ms);
+            cfg
+        };
+        let straight = SystemSim::run(cfg(), build(&geoms));
+
+        let mut cell = vip_core::SimCell::new(cfg(), build(&geoms));
+        cell.run_until(desim::SimTime::from_ns(split_ns));
+        let snap = cell.snapshot();
+        assert_eq!(
+            cell.finish().digest(),
+            straight.digest(),
+            "{scheme}: snapshot at {split_ns}ns perturbed the source cell"
+        );
+
+        // Branch from the snapshot in a warm cell holding unrelated state.
+        let warm_geoms = vec_of(rng, 1, 2, arb_flow);
+        let mut branch = vip_core::SimCell::new(cfg(), build(&warm_geoms));
+        branch.run_until(desim::SimTime::from_ns(split_ns / 2));
+        branch.restore(&snap);
+        let branched = branch.finish();
+        assert_eq!(
+            branched.digest(),
+            straight.digest(),
+            "{scheme}: restore at {split_ns}ns drifted from straight-through"
+        );
+        assert_eq!(
+            branched.events, straight.events,
+            "{scheme}: event calendar differs after restore"
         );
     });
 }

@@ -49,6 +49,7 @@ pub trait Model {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
 
+#[derive(Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -347,6 +348,91 @@ impl<E> Scheduler<E> {
     }
 }
 
+/// A self-contained capture of a [`Scheduler`]: clock, sequence counter,
+/// pending calendar (front slot plus heap), cancel tombstones and dispatch
+/// count. Taken by [`Scheduler::snapshot`], reinstated — any number of
+/// times, into any scheduler of the same event type — by
+/// [`Scheduler::restore`]. Restoring and continuing is indistinguishable
+/// from never having stopped: entry sequence numbers, tombstones and the
+/// front-slot invariant all carry over, so coincident-batch grouping and
+/// token cancellation replay identically.
+#[derive(Clone)]
+pub struct SchedulerSnapshot<E> {
+    now: SimTime,
+    seq: u64,
+    front: Option<Entry<E>>,
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: FxHashSet<u64>,
+    dispatched: u64,
+    #[cfg(feature = "audit")]
+    audit_pops: u64,
+}
+
+impl<E> SchedulerSnapshot<E> {
+    /// The captured clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events pending in the capture (cancelled ones may be counted until
+    /// a restored scheduler lazily discards them, mirroring
+    /// [`Scheduler::pending`]).
+    pub fn pending(&self) -> usize {
+        self.heap.len() + usize::from(self.front.is_some()) - self.cancelled.len()
+    }
+
+    /// Events the captured scheduler had dispatched.
+    pub fn events_dispatched(&self) -> u64 {
+        self.dispatched
+    }
+}
+
+impl<E> std::fmt::Debug for SchedulerSnapshot<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerSnapshot")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("dispatched", &self.dispatched)
+            .finish()
+    }
+}
+
+impl<E: Clone> Scheduler<E> {
+    /// Captures the complete calendar state. `&self` and non-destructive:
+    /// a run that snapshots and continues is bit-identical to one that
+    /// never snapshotted.
+    pub fn snapshot(&self) -> SchedulerSnapshot<E> {
+        SchedulerSnapshot {
+            now: self.now,
+            seq: self.seq,
+            front: self.front.clone(),
+            heap: self.heap.clone(),
+            cancelled: self.cancelled.clone(),
+            dispatched: self.dispatched,
+            #[cfg(feature = "audit")]
+            audit_pops: self.audit_pops,
+        }
+    }
+
+    /// Reinstates a captured calendar, replacing the current one. Existing
+    /// allocations are reused where the standard collections allow
+    /// (`clone_from`), so restoring into a warm scheduler avoids the
+    /// growth phase. The snapshot is borrowed, not consumed: one capture
+    /// can seed any number of restored runs.
+    pub fn restore(&mut self, snap: &SchedulerSnapshot<E>) {
+        self.now = snap.now;
+        self.seq = snap.seq;
+        self.front.clone_from(&snap.front);
+        self.heap.clone_from(&snap.heap);
+        self.cancelled.clone_from(&snap.cancelled);
+        self.dispatched = snap.dispatched;
+        #[cfg(feature = "audit")]
+        {
+            self.audit_pops = snap.audit_pops;
+        }
+    }
+}
+
 /// Why a run returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -444,6 +530,11 @@ impl<M: Model> Engine<M> {
     /// The calendar, for seeding initial events and inspecting the clock.
     pub fn scheduler(&mut self) -> &mut Scheduler<M::Event> {
         &mut self.sched
+    }
+
+    /// Read-only view of the calendar (snapshotting, inspection).
+    pub fn scheduler_ref(&self) -> &Scheduler<M::Event> {
+        &self.sched
     }
 
     /// Dispatches a single event. Returns `false` if the calendar is empty.
@@ -854,6 +945,62 @@ mod tests {
         eng.run();
         assert_eq!(eng.model().seen.last(), Some(&(2, 8)));
         assert_eq!(eng.scheduler().events_dispatched(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let schedule = |eng: &mut Engine<Recorder>| {
+            eng.scheduler().at(SimTime::from_ns(10), 1);
+            eng.scheduler().at(SimTime::from_ns(20), 2);
+            eng.scheduler().at(SimTime::from_ns(20), 3); // coincident pair
+            let dead = eng.scheduler().at(SimTime::from_ns(25), 9);
+            eng.scheduler().at(SimTime::from_ns(30), 4);
+            eng.scheduler().cancel(dead);
+        };
+        let mut straight = Engine::new(Recorder::default());
+        schedule(&mut straight);
+        straight.run_until_batched(SimTime::from_ns(30));
+
+        let mut eng = Engine::new(Recorder::default());
+        schedule(&mut eng);
+        eng.run_until_batched(SimTime::from_ns(15));
+        let snap = eng.scheduler_ref().snapshot();
+        assert_eq!(snap.now(), SimTime::from_ns(10));
+        assert_eq!(snap.events_dispatched(), 1);
+        // Snapshotting is non-destructive: the original continues...
+        eng.run_until_batched(SimTime::from_ns(30));
+        assert_eq!(eng.model().seen, straight.model().seen);
+
+        // ...and the capture restores into a different warm engine, twice.
+        for _ in 0..2 {
+            let mut resumed = Engine::new(Recorder::default());
+            resumed.scheduler().at(SimTime::from_ns(1), 77); // stale state
+            resumed.run_until_batched(SimTime::from_ns(5));
+            resumed.model_mut().seen.clear();
+            resumed.scheduler().restore(&snap);
+            assert_eq!(resumed.scheduler().now(), SimTime::from_ns(10));
+            resumed.run_until_batched(SimTime::from_ns(30));
+            assert_eq!(resumed.model().seen, vec![(20, 2), (20, 3), (30, 4)]);
+            assert_eq!(
+                resumed.scheduler().events_dispatched(),
+                straight.scheduler().events_dispatched()
+            );
+        }
+    }
+
+    #[test]
+    fn restored_tokens_stay_cancellable() {
+        // Sequence numbers carry across restore, so a token issued before
+        // the snapshot cancels the same logical event afterwards.
+        let mut eng = Engine::new(Recorder::default());
+        eng.scheduler().at(SimTime::from_ns(5), 1);
+        let tok = eng.scheduler().at(SimTime::from_ns(9), 2);
+        let snap = eng.scheduler_ref().snapshot();
+        let mut other = Engine::new(Recorder::default());
+        other.scheduler().restore(&snap);
+        assert!(other.scheduler().cancel(tok));
+        other.run();
+        assert_eq!(other.model().seen, vec![(5, 1)]);
     }
 
     #[test]

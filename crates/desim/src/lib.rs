@@ -55,7 +55,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarQueue;
-pub use engine::{Engine, EventToken, Model, RunOutcome, Scheduler};
+pub use engine::{Engine, EventToken, Model, RunOutcome, Scheduler, SchedulerSnapshot};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;
 pub use time::{SimDelta, SimTime};

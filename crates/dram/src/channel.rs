@@ -73,7 +73,7 @@ const PIPELINE_DEPTH: usize = 2;
 /// the tens (the doorbell credit scheme upstream bounds outstanding
 /// fetches), so the FR-FCFS scan is short and anything cleverer costs
 /// more in bookkeeping than it saves.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Channel {
     cfg: DramConfig,
     banks: Vec<Bank>,

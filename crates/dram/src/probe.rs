@@ -47,9 +47,11 @@ pub enum DramProbe {
 }
 
 /// Container for the installed probe; exists so `MemorySystem` can keep
-/// deriving `Debug` around a non-`Debug` closure.
+/// deriving `Debug` around a non-`Debug` closure. The closure is `Send`
+/// so a probe-less clone of the memory system (a snapshot) can move
+/// between worker threads.
 #[derive(Default)]
-pub struct ProbeSlot(pub(crate) Option<Box<dyn FnMut(DramProbe)>>);
+pub struct ProbeSlot(pub(crate) Option<Box<dyn FnMut(DramProbe) + Send + Sync>>);
 
 impl std::fmt::Debug for ProbeSlot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -13,7 +13,7 @@ use crate::probe::{DramProbe, ProbeSlot};
 use crate::request::{Completion, MemOp, MemRequest};
 use crate::stats::MemStats;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Parent {
     tag: u64,
     op: MemOp,
@@ -59,6 +59,44 @@ pub struct MemorySystem {
     probe: ProbeSlot,
 }
 
+/// Deep-copies every piece of timing state. The trace-only probe closure
+/// is an observer, not simulation state, so a fresh clone starts with an
+/// empty probe slot and `clone_from` leaves the destination's installed
+/// probe untouched — observers are digest-neutral by contract either way.
+impl Clone for MemorySystem {
+    fn clone(&self) -> Self {
+        MemorySystem {
+            cfg: self.cfg.clone(),
+            mapper: self.mapper.clone(),
+            channels: self.channels.clone(),
+            parents: self.parents.clone(),
+            free_parents: self.free_parents.clone(),
+            in_flight: self.in_flight.clone(),
+            earliest: self.earliest,
+            seq: self.seq,
+            scratch_parts: self.scratch_parts.clone(),
+            ready: self.ready.clone(),
+            stats: self.stats.clone(),
+            #[cfg(feature = "trace")]
+            probe: ProbeSlot::default(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.cfg.clone_from(&src.cfg);
+        self.mapper.clone_from(&src.mapper);
+        self.channels.clone_from(&src.channels);
+        self.parents.clone_from(&src.parents);
+        self.free_parents.clone_from(&src.free_parents);
+        self.in_flight.clone_from(&src.in_flight);
+        self.earliest = src.earliest;
+        self.seq = src.seq;
+        self.scratch_parts.clone_from(&src.scratch_parts);
+        self.ready.clone_from(&src.ready);
+        self.stats.clone_from(&src.stats);
+    }
+}
+
 impl MemorySystem {
     /// Creates a memory system.
     ///
@@ -97,7 +135,7 @@ impl MemorySystem {
     /// [`DramProbe`](crate::probe::DramProbe) observation point. One probe
     /// at a time; installing again replaces the previous one.
     #[cfg(feature = "trace")]
-    pub fn set_probe(&mut self, probe: Box<dyn FnMut(DramProbe)>) {
+    pub fn set_probe(&mut self, probe: Box<dyn FnMut(DramProbe) + Send + Sync>) {
         self.probe.0 = Some(probe);
     }
 
@@ -470,15 +508,14 @@ mod tests {
     #[cfg(feature = "trace")]
     #[test]
     fn probe_sees_issue_and_complete_pairs() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let seen: Rc<RefCell<Vec<DramProbe>>> = Rc::new(RefCell::new(Vec::new()));
-        let sink = Rc::clone(&seen);
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<DramProbe>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
         let mut mem = system();
-        mem.set_probe(Box::new(move |p| sink.borrow_mut().push(p)));
+        mem.set_probe(Box::new(move |p| sink.lock().unwrap().push(p)));
         mem.submit(SimTime::ZERO, MemRequest::new(0, 4096, MemOp::Read, 1));
         mem.drain(SimTime::ZERO);
-        let probes = seen.borrow();
+        let probes = seen.lock().unwrap();
         let issues = probes
             .iter()
             .filter(|p| matches!(p, DramProbe::Issue { .. }))

@@ -119,6 +119,7 @@ const H001_HOT_FNS: [(&str, &[&str]); 5] = [
             "stream_addr",
             "handle_batch",
             "kind_index",
+            "run_until",
             "reset",
             "reset_flow_rt",
             "sourced",

@@ -69,7 +69,7 @@ pub struct SaTransfer {
 /// let xfer = sa.transfer(SimTime::ZERO, 1024);
 /// assert!(xfer.arrival > xfer.end && xfer.end > xfer.start);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SystemAgent {
     cfg: AgentConfig,
     fabric_free_at: SimTime,

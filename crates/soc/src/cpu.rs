@@ -155,7 +155,7 @@ impl<K> Task<K> {
 /// assert_eq!(kind, "setup");
 /// assert!(next.is_none());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CpuCore<K> {
     cfg: CpuConfig,
     queue: VecDeque<Task<K>>,
